@@ -1,0 +1,214 @@
+/**
+ * E9 — queueing models vs simulation vs the real runtime (§3).
+ *
+ * Three views of the same M/M/1-like stage: the closed-form model, the
+ * discrete-event simulation, and the actual RaftLib pipeline with
+ * matching (busy-loop calibrated) service rates. Also exercises the
+ * model-driven buffer-sizing answer against a live stall measurement —
+ * the workflow the paper proposes for buffer allocation.
+ */
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include <queueing/models.hpp>
+#include <queueing/optimize.hpp>
+#include <raft.hpp>
+#include <sim/pipeline.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+/** Kernel that busy-spins an exponentially distributed time. */
+class exp_service : public raft::kernel
+{
+public:
+    exp_service( const double rate_hz, const std::uint64_t seed,
+                 const bool is_source, const std::size_t items = 0 )
+        : rate_( rate_hz ), eng_( seed ), source_( is_source ),
+          items_( items )
+    {
+        if( !source_ )
+        {
+            input.addPort<i64>( "0" );
+        }
+        output.addPort<i64>( "0" );
+    }
+
+    raft::kstatus run() override
+    {
+        if( source_ && sent_ >= items_ )
+        {
+            return raft::stop;
+        }
+        i64 v = 0;
+        if( !source_ )
+        {
+            input[ "0" ].pop<i64>( v );
+        }
+        spin_exponential();
+        output[ "0" ].push<i64>( source_ ? i64( sent_++ ) : v );
+        return raft::proceed;
+    }
+
+private:
+    void spin_exponential()
+    {
+        std::exponential_distribution<double> d( rate_ );
+        const auto t = d( eng_ );
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::duration<double>( t );
+        while( std::chrono::steady_clock::now() < until )
+        {
+        }
+    }
+
+    double rate_;
+    std::mt19937_64 eng_;
+    bool source_;
+    std::size_t items_;
+    std::size_t sent_{ 0 };
+};
+
+class null_sink : public raft::kernel
+{
+public:
+    null_sink() { input.addPort<i64>( "0" ); }
+    raft::kstatus run() override
+    {
+        (void) input[ "0" ].pop<i64>();
+        return raft::proceed;
+    }
+};
+
+} /** end anonymous namespace **/
+
+int main()
+{
+    const double lambda = 3000.0, mu = 4000.0; /** rho = 0.75 **/
+    const std::size_t items = 8000;
+
+    std::printf( "Queueing model vs DES vs live RaftLib pipeline "
+                 "(lambda=%.0f/s, mu=%.0f/s, rho=%.2f, %zu items)\n\n",
+                 lambda, mu, lambda / mu, items );
+
+    /** closed form **/
+    const raft::queueing::mm1 model{ lambda, mu };
+    std::printf( "%-28s Lq=%.3f  L=%.3f  W=%.1f us\n",
+                 "M/M/1 closed form", model.mean_in_queue(),
+                 model.mean_in_system(), model.mean_sojourn() * 1e6 );
+
+    /** discrete-event simulation **/
+    raft::sim::pipeline_desc d;
+    d.stages.push_back( raft::sim::stage_desc{
+        "src", lambda, 1, 1, raft::sim::service_dist::exponential,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "srv", mu, 1, 1u << 18, raft::sim::service_dist::exponential,
+        false } );
+    d.items      = 60'000;
+    d.seed       = 2718;
+    const auto r = raft::sim::simulate_pipeline( d );
+    std::printf( "%-28s Lq=%.3f  util=%.3f\n", "discrete-event sim",
+                 r.stages[ 1 ].mean_queue_len,
+                 r.stages[ 1 ].utilization );
+
+    /** live pipeline with busy-loop exponential service **/
+    raft::runtime::perf_snapshot snap;
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<exp_service>( lambda, 1, true, items ),
+        raft::kernel::make<exp_service>( mu, 2, false ) );
+    m.link( &( p.dst ), raft::kernel::make<null_sink>() );
+    raft::run_options o;
+    o.initial_queue_capacity = 1u << 14;
+    o.dynamic_resize         = false;
+    o.monitor_delta          = std::chrono::microseconds( 50 );
+    o.stats_out              = &snap;
+    m.exe( o );
+    const auto *s = snap.find( "exp_service", "exp_service" );
+    if( s != nullptr )
+    {
+        std::printf( "%-28s Lq=%.3f  (sampled occupancy of the live "
+                     "stream; %llu items, %.2f s)\n",
+                     "live RaftLib pipeline", s->mean_occupancy,
+                     static_cast<unsigned long long>( s->popped ),
+                     snap.wall_seconds );
+    }
+
+    /** model-driven buffer sizing **/
+    std::printf( "\nmodel-driven buffer sizing (target stall "
+                 "probability):\n" );
+    std::printf( "%-12s %-14s %-18s\n", "target", "K (M/M/1/K)",
+                 "achieved P(block)" );
+    for( const double target : { 0.05, 0.01, 0.001 } )
+    {
+        const auto k = raft::queueing::size_buffer_for_blocking(
+            lambda, mu, target );
+        const auto pb =
+            ( raft::queueing::mm1k{ lambda, mu, k } )
+                .blocking_probability();
+        std::printf( "%-12.3f %-14zu %-18.5f\n", target, k, pb );
+    }
+
+    /** annealing on a model-derived objective **/
+    const auto objective =
+        [ & ]( const std::vector<std::size_t> &sizes ) {
+            double cost = 0.0;
+            for( const auto sz : sizes )
+            {
+                cost += ( raft::queueing::mm1k{ lambda, mu, sz } )
+                            .blocking_probability();
+                cost += 1e-5 * static_cast<double>( sz ); /** memory **/
+            }
+            return cost;
+        };
+    const raft::queueing::optimize_options oo{ 2, 1u << 12, 0 };
+    const auto sa =
+        raft::queueing::simulated_annealing( 3, objective, oo );
+    std::printf( "\nsimulated annealing over 3 queues: sizes =" );
+    for( const auto sz : sa.sizes )
+    {
+        std::printf( " %zu", sz );
+    }
+    std::printf( "  cost=%.5f (%zu evaluations)\n", sa.cost,
+                 sa.evaluations );
+
+    /**
+     * Branch-and-bound with the DES as the objective (§3's "branch and
+     * bound search" option evaluated against the executable model): size
+     * the two queues of a 3-stage bursty pipeline to minimize makespan
+     * under a memory budget.
+     */
+    std::printf( "\nbranch-and-bound over DES-evaluated pipeline "
+                 "(budget 256 slots total):\n" );
+    const auto des_objective =
+        []( const std::vector<std::size_t> &sizes ) {
+            raft::sim::pipeline_desc d;
+            d.stages.push_back( raft::sim::stage_desc{
+                "src", 1000.0, 1, 1,
+                raft::sim::service_dist::hyperexponential, false } );
+            d.stages.push_back( raft::sim::stage_desc{
+                "mid", 1100.0, 1, sizes[ 0 ],
+                raft::sim::service_dist::exponential, false } );
+            d.stages.push_back( raft::sim::stage_desc{
+                "sink", 1200.0, 1, sizes[ 1 ],
+                raft::sim::service_dist::exponential, false } );
+            d.items = 20'000;
+            d.seed  = 404;
+            return raft::sim::simulate_pipeline( d ).makespan_s;
+        };
+    raft::queueing::optimize_options bo;
+    bo.min_size        = 2;
+    bo.max_size        = 256;
+    bo.budget_elements = 256;
+    const auto bb =
+        raft::queueing::branch_and_bound( 2, des_objective, bo );
+    std::printf( "  best sizes = [%zu, %zu], makespan %.3f s "
+                 "(%zu DES evaluations); all-minimum makespan %.3f s\n",
+                 bb.sizes[ 0 ], bb.sizes[ 1 ], bb.cost,
+                 bb.evaluations,
+                 des_objective( { 2, 2 } ) );
+    return 0;
+}

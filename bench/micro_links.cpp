@@ -1,0 +1,215 @@
+/**
+ * Link allocation types (§4.2: "Before a link allocation type is selected
+ * (POSIX shared memory, heap allocated memory or TCP link)"): throughput
+ * of the same typed stream over each transport, plus the compressed TCP
+ * variant (§4.2 future work), for small and cache-line-sized elements.
+ */
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include <core/ringbuffer.hpp>
+#include <net/shm.hpp>
+#include <net/socket.hpp>
+#include <net/tcp_kernels.hpp>
+#include <unistd.h>
+
+namespace {
+
+struct big_pod
+{
+    std::uint64_t v[ 8 ]; /** one cache line **/
+};
+
+template <class T> T make_value( std::uint64_t i );
+template <> std::uint64_t make_value<std::uint64_t>( std::uint64_t i )
+{
+    return i;
+}
+template <> big_pod make_value<big_pod>( std::uint64_t i )
+{
+    big_pod p{};
+    p.v[ 0 ] = i;
+    return p;
+}
+
+template <class T> void bm_heap_link( benchmark::State &state )
+{
+    constexpr std::uint64_t items = 50'000;
+    for( auto _ : state )
+    {
+        raft::ring_buffer<T> q( 1024 );
+        std::thread producer( [ & ]() {
+            for( std::uint64_t i = 0; i < items; ++i )
+            {
+                q.push( make_value<T>( i ) );
+            }
+            q.close_write();
+        } );
+        std::uint64_t n = 0;
+        try
+        {
+            for( ;; )
+            {
+                T v{};
+                q.pop( v );
+                ++n;
+            }
+        }
+        catch( const raft::closed_port_exception & )
+        {
+        }
+        producer.join();
+        benchmark::DoNotOptimize( n );
+    }
+    state.SetBytesProcessed( state.iterations() *
+                             static_cast<std::int64_t>( items ) *
+                             static_cast<std::int64_t>( sizeof( T ) ) );
+}
+
+template <class T> void bm_shm_link( benchmark::State &state )
+{
+    constexpr std::uint64_t items = 50'000;
+    int round = 0;
+    for( auto _ : state )
+    {
+        const auto name = "/raft_bench_" + std::to_string( getpid() ) +
+                          "_" + std::to_string( round++ );
+        raft::net::shm_ring<T> writer(
+            name, 1024, raft::net::shm_ring<T>::role::create );
+        raft::net::shm_ring<T> reader(
+            name, 1024, raft::net::shm_ring<T>::role::attach );
+        std::thread producer( [ & ]() {
+            for( std::uint64_t i = 0; i < items; ++i )
+            {
+                writer.push( make_value<T>( i ) );
+            }
+            writer.close_write();
+        } );
+        std::uint64_t n = 0;
+        try
+        {
+            for( ;; )
+            {
+                T v{};
+                reader.pop( v );
+                ++n;
+            }
+        }
+        catch( const raft::closed_port_exception & )
+        {
+        }
+        producer.join();
+        benchmark::DoNotOptimize( n );
+    }
+    state.SetBytesProcessed( state.iterations() *
+                             static_cast<std::int64_t>( items ) *
+                             static_cast<std::int64_t>( sizeof( T ) ) );
+}
+
+template <class T, bool compressed>
+void bm_tcp_link( benchmark::State &state )
+{
+    constexpr std::uint64_t items = 20'000;
+    for( auto _ : state )
+    {
+        raft::net::tcp_listener listener( 0 );
+        std::uint64_t n = 0;
+        std::thread consumer( [ & ]() {
+            auto conn = listener.accept();
+            if constexpr( compressed )
+            {
+                std::uint32_t header[ 2 ];
+                std::vector<std::uint8_t> buf;
+                while( conn.recv_all( header, sizeof( header ) ) &&
+                       header[ 0 ] != 0 )
+                {
+                    buf.resize( header[ 1 ] );
+                    conn.recv_all( buf.data(), buf.size() );
+                    n += header[ 0 ];
+                }
+            }
+            else
+            {
+                std::uint8_t sig = 0;
+                T v{};
+                while( conn.recv_all( &sig, 1 ) && sig != 0xFF &&
+                       conn.recv_all( &v, sizeof( v ) ) )
+                {
+                    ++n;
+                }
+            }
+        } );
+        {
+            auto conn = raft::net::tcp_connection::connect(
+                "127.0.0.1", listener.port() );
+            if constexpr( compressed )
+            {
+                /** batch of 256 elements per compressed frame **/
+                std::vector<T> batch;
+                for( std::uint64_t i = 0; i < items; ++i )
+                {
+                    batch.push_back( make_value<T>( i ) );
+                    if( batch.size() == 256 || i + 1 == items )
+                    {
+                        std::vector<std::uint8_t> raw(
+                            batch.size() * sizeof( T ) );
+                        std::memcpy( raw.data(), batch.data(),
+                                     raw.size() );
+                        const auto packed = raft::net::rle_compress(
+                            raw.data(), raw.size() );
+                        const std::uint32_t header[ 2 ] = {
+                            static_cast<std::uint32_t>( batch.size() ),
+                            static_cast<std::uint32_t>( packed.size() )
+                        };
+                        conn.send_all( header, sizeof( header ) );
+                        conn.send_all( packed.data(), packed.size() );
+                        batch.clear();
+                    }
+                }
+                const std::uint32_t eof[ 2 ] = { 0, 0 };
+                conn.send_all( eof, sizeof( eof ) );
+            }
+            else
+            {
+                for( std::uint64_t i = 0; i < items; ++i )
+                {
+                    const std::uint8_t sig = 0;
+                    const auto v           = make_value<T>( i );
+                    conn.send_all( &sig, 1 );
+                    conn.send_all( &v, sizeof( v ) );
+                }
+                const std::uint8_t eof = 0xFF;
+                conn.send_all( &eof, 1 );
+            }
+            conn.shutdown_write();
+        }
+        consumer.join();
+        benchmark::DoNotOptimize( n );
+    }
+    state.SetBytesProcessed( state.iterations() *
+                             static_cast<std::int64_t>( items ) *
+                             static_cast<std::int64_t>( sizeof( T ) ) );
+}
+
+void bm_heap_u64( benchmark::State &s ) { bm_heap_link<std::uint64_t>( s ); }
+void bm_heap_cacheline( benchmark::State &s ) { bm_heap_link<big_pod>( s ); }
+void bm_shm_u64( benchmark::State &s ) { bm_shm_link<std::uint64_t>( s ); }
+void bm_shm_cacheline( benchmark::State &s ) { bm_shm_link<big_pod>( s ); }
+void bm_tcp_u64( benchmark::State &s )
+{
+    bm_tcp_link<std::uint64_t, false>( s );
+}
+void bm_tcp_u64_compressed( benchmark::State &s )
+{
+    bm_tcp_link<std::uint64_t, true>( s );
+}
+
+BENCHMARK( bm_heap_u64 )->Unit( benchmark::kMillisecond );
+BENCHMARK( bm_heap_cacheline )->Unit( benchmark::kMillisecond );
+BENCHMARK( bm_shm_u64 )->Unit( benchmark::kMillisecond );
+BENCHMARK( bm_shm_cacheline )->Unit( benchmark::kMillisecond );
+BENCHMARK( bm_tcp_u64 )->Unit( benchmark::kMillisecond );
+BENCHMARK( bm_tcp_u64_compressed )->Unit( benchmark::kMillisecond );
+
+} /** end anonymous namespace **/

@@ -1,0 +1,122 @@
+/**
+ * E10 — mapper speed and quality (§4.1: "No claim is made to optimality
+ * for this simple algorithm, however it is fast"). Times the partitioner
+ * over growing random topologies on the paper's Table 1 machine shape and
+ * reports the crossing quality on structured pipelines.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <core/kernels/generate.hpp>
+#include <mapping/partition.hpp>
+
+namespace {
+
+class stub_kernel : public raft::kernel
+{
+public:
+    stub_kernel()
+    {
+        input.addPort<int>( "in" );
+        output.addPort<int>( "out" );
+    }
+    raft::kstatus run() override { return raft::stop; }
+};
+
+struct random_app
+{
+    std::vector<std::unique_ptr<stub_kernel>> kernels;
+    raft::topology topo;
+
+    random_app( const std::size_t n, const std::uint64_t seed )
+    {
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            kernels.push_back( std::make_unique<stub_kernel>() );
+        }
+        std::mt19937_64 eng( seed );
+        /** pipeline backbone + random chords **/
+        for( std::size_t i = 0; i + 1 < n; ++i )
+        {
+            topo.add_edge( raft::edge{ kernels[ i ].get(), "out",
+                                       kernels[ i + 1 ].get(), "in",
+                                       raft::in_order } );
+        }
+        std::uniform_int_distribution<std::size_t> pick( 0, n - 1 );
+        for( std::size_t e = 0; e < n / 2; ++e )
+        {
+            const auto a = pick( eng );
+            const auto b = pick( eng );
+            if( a != b )
+            {
+                topo.add_edge( raft::edge{ kernels[ a ].get(), "out",
+                                           kernels[ b ].get(), "in",
+                                           raft::in_order } );
+            }
+        }
+    }
+};
+
+void bm_partition_speed( benchmark::State &state )
+{
+    const auto n = static_cast<std::size_t>( state.range( 0 ) );
+    random_app app( n, 42 );
+    const auto machine =
+        raft::mapping::machine_desc::synthetic( 1, 2, 8 );
+    for( auto _ : state )
+    {
+        benchmark::DoNotOptimize(
+            raft::mapping::partition( app.topo, machine ) );
+    }
+    state.SetItemsProcessed( state.iterations() *
+                             static_cast<std::int64_t>( n ) );
+}
+BENCHMARK( bm_partition_speed )
+    ->Arg( 8 )
+    ->Arg( 32 )
+    ->Arg( 128 )
+    ->Unit( benchmark::kMicrosecond );
+
+void bm_partition_quality_pipeline( benchmark::State &state )
+{
+    /** crossing count achieved on a pure pipeline (optimum is 1) **/
+    const auto n = static_cast<std::size_t>( state.range( 0 ) );
+    std::vector<std::unique_ptr<stub_kernel>> ks;
+    raft::topology topo;
+    for( std::size_t i = 0; i < n; ++i )
+    {
+        ks.push_back( std::make_unique<stub_kernel>() );
+    }
+    for( std::size_t i = 0; i + 1 < n; ++i )
+    {
+        topo.add_edge( raft::edge{ ks[ i ].get(), "out",
+                                   ks[ i + 1 ].get(), "in",
+                                   raft::in_order } );
+    }
+    const auto machine =
+        raft::mapping::machine_desc::synthetic( 1, 2, 8 );
+    std::vector<unsigned> socket_of( machine.cores.size() );
+    for( const auto &c : machine.cores )
+    {
+        socket_of[ c.id ] = c.socket;
+    }
+    std::size_t crossings = 0;
+    for( auto _ : state )
+    {
+        const auto a = raft::mapping::partition( topo, machine );
+        crossings    = raft::mapping::crossing_count( topo, a, machine,
+                                                      socket_of );
+        benchmark::DoNotOptimize( crossings );
+    }
+    state.counters[ "socket_crossings" ] =
+        static_cast<double>( crossings );
+}
+BENCHMARK( bm_partition_quality_pipeline )
+    ->Arg( 16 )
+    ->Arg( 64 )
+    ->Unit( benchmark::kMicrosecond );
+
+} /** end anonymous namespace **/

@@ -1,0 +1,120 @@
+/**
+ * E8 — port access-method overhead (§4.2: "There are multiple calls to
+ * perform push and pop style operations, each embodies some type of copy
+ * semantic"). Compares raw pop/push against the RAII pop_s/allocate_s
+ * accessors of Figure 2 and the peek_range sliding window of §3.
+ */
+#include <benchmark/benchmark.h>
+
+#include <core/kernel.hpp>
+#include <core/ringbuffer.hpp>
+
+namespace {
+
+struct harness
+{
+    raft::ring_buffer<std::uint64_t> q{ 256 };
+};
+
+void bm_raw_pop( benchmark::State &state )
+{
+    harness h;
+    std::uint64_t i = 0;
+    for( auto _ : state )
+    {
+        h.q.push( i++ );
+        std::uint64_t v = 0;
+        h.q.pop( v );
+        benchmark::DoNotOptimize( v );
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_raw_pop );
+
+void bm_pop_s_autorelease( benchmark::State &state )
+{
+    harness h;
+    std::uint64_t i = 0;
+    for( auto _ : state )
+    {
+        h.q.push( i++ );
+        {
+            auto a = h.q.pop_s();
+            benchmark::DoNotOptimize( *a );
+        }
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_pop_s_autorelease );
+
+void bm_allocate_s_vs_push( benchmark::State &state )
+{
+    harness h;
+    std::uint64_t drain = 0;
+    for( auto _ : state )
+    {
+        {
+            auto w = h.q.allocate_s();
+            *w     = 42;
+        }
+        h.q.pop( drain );
+        benchmark::DoNotOptimize( drain );
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_allocate_s_vs_push );
+
+void bm_peek_range_window( benchmark::State &state )
+{
+    const auto window = static_cast<std::size_t>( state.range( 0 ) );
+    raft::ring_buffer<std::uint64_t> q( 512 );
+    for( std::size_t i = 0; i < 256; ++i )
+    {
+        q.push( i );
+    }
+    for( auto _ : state )
+    {
+        auto w            = q.peek_range( window );
+        std::uint64_t sum = 0;
+        for( std::size_t i = 0; i < window; ++i )
+        {
+            sum += w[ i ];
+        }
+        benchmark::DoNotOptimize( sum );
+    }
+    state.SetItemsProcessed( state.iterations() *
+                             static_cast<std::int64_t>( window ) );
+}
+BENCHMARK( bm_peek_range_window )->Arg( 4 )->Arg( 32 )->Arg( 128 );
+
+void bm_port_typed_access_overhead( benchmark::State &state )
+{
+    /** cost of going through the named-port runtime type check **/
+    class probe : public raft::kernel
+    {
+    public:
+        probe()
+        {
+            input.addPort<std::uint64_t>( "0" );
+            output.addPort<std::uint64_t>( "0" );
+        }
+        raft::kstatus run() override { return raft::stop; }
+    };
+    probe k;
+    raft::ring_buffer<std::uint64_t> qi( 256 ), qo( 256 );
+    k.input[ "0" ].bind( &qi );
+    k.output[ "0" ].bind( &qo );
+    std::uint64_t i = 0;
+    for( auto _ : state )
+    {
+        k.output[ "0" ].push<std::uint64_t>( i++ );
+        std::uint64_t v = 0;
+        qo.pop( v );
+        qi.push( v );
+        benchmark::DoNotOptimize( k.input[ "0" ].pop<std::uint64_t>() );
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_port_typed_access_overhead );
+
+} /** end anonymous namespace **/

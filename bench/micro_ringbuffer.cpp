@@ -1,0 +1,103 @@
+/**
+ * Substrate micro-benchmark: raw SPSC ring-buffer throughput (E13).
+ * Measures the per-element cost of the lock-free fast path — push/pop in
+ * a single thread (no contention) and across a real producer/consumer
+ * pair — plus the cost of a resize.
+ */
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include <core/ringbuffer.hpp>
+
+namespace {
+
+void bm_push_pop_single_thread( benchmark::State &state )
+{
+    raft::ring_buffer<std::uint64_t> q(
+        static_cast<std::size_t>( state.range( 0 ) ) );
+    std::uint64_t i = 0;
+    for( auto _ : state )
+    {
+        q.push( i++ );
+        std::uint64_t v = 0;
+        q.pop( v );
+        benchmark::DoNotOptimize( v );
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_push_pop_single_thread )->Arg( 8 )->Arg( 64 )->Arg( 4096 );
+
+void bm_try_push_pop( benchmark::State &state )
+{
+    raft::ring_buffer<std::uint64_t> q( 64 );
+    std::uint64_t i = 0;
+    for( auto _ : state )
+    {
+        benchmark::DoNotOptimize( q.try_push( i++ ) );
+        std::uint64_t v = 0;
+        benchmark::DoNotOptimize( q.try_pop( v ) );
+    }
+    state.SetItemsProcessed( state.iterations() );
+}
+BENCHMARK( bm_try_push_pop );
+
+void bm_spsc_threaded( benchmark::State &state )
+{
+    const auto cap = static_cast<std::size_t>( state.range( 0 ) );
+    for( auto _ : state )
+    {
+        state.PauseTiming();
+        raft::ring_buffer<std::uint64_t> q( cap );
+        constexpr std::uint64_t items = 100'000;
+        state.ResumeTiming();
+        std::thread producer( [ & ]() {
+            for( std::uint64_t i = 0; i < items; ++i )
+            {
+                q.push( i + 0 );
+            }
+            q.close_write();
+        } );
+        std::uint64_t sum = 0;
+        try
+        {
+            for( ;; )
+            {
+                std::uint64_t v = 0;
+                q.pop( v );
+                sum += v;
+            }
+        }
+        catch( const raft::closed_port_exception & )
+        {
+        }
+        producer.join();
+        benchmark::DoNotOptimize( sum );
+        state.SetItemsProcessed( state.items_processed() +
+                                 static_cast<std::int64_t>( items ) );
+    }
+}
+BENCHMARK( bm_spsc_threaded )
+    ->Arg( 16 )
+    ->Arg( 256 )
+    ->Arg( 4096 )
+    ->Unit( benchmark::kMillisecond );
+
+void bm_resize_cost( benchmark::State &state )
+{
+    const auto occupancy = static_cast<std::size_t>( state.range( 0 ) );
+    for( auto _ : state )
+    {
+        state.PauseTiming();
+        raft::ring_buffer<std::uint64_t> q( occupancy * 2 );
+        for( std::size_t i = 0; i < occupancy; ++i )
+        {
+            q.push( i );
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize( q.resize( occupancy * 4 ) );
+    }
+}
+BENCHMARK( bm_resize_cost )->Arg( 64 )->Arg( 1024 )->Arg( 16384 );
+
+} /** end anonymous namespace **/

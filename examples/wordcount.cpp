@@ -1,0 +1,166 @@
+/**
+ * wordcount — the canonical big-data streaming job (§4.2 motivates
+ * RaftLib with "long running, data intense applications such as big data
+ * processing or real-time data analytics") built from library kernels:
+ *
+ *   filereader ─zero-copy segments─> n × tokenizer ─words─> counter
+ *
+ * The tokenizer is clonable and its links are raft::out, so the runtime
+ * replicates it; word order across replicas doesn't matter because
+ * counting commutes. Prints the top-10 words of a synthetic corpus (or a
+ * file given on the command line).
+ *
+ *   $ ./example_wordcount [file]
+ */
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <algo/corpus.hpp>
+#include <raft.hpp>
+
+namespace {
+
+/** Fixed-size word token (trivially copyable: may cross any link). */
+struct word_t
+{
+    std::array<char, 24> text{};
+    std::uint8_t len{ 0 };
+
+    std::string str() const { return std::string( text.data(), len ); }
+};
+
+/** Splits zero-copy corpus segments into word tokens. */
+class tokenizer : public raft::kernel
+{
+public:
+    tokenizer()
+    {
+        input.addPort<raft::mem_range>( "0" );
+        output.addPort<word_t>( "0" );
+    }
+
+    raft::kstatus run() override
+    {
+        auto seg = input[ "0" ].pop_s<raft::mem_range>();
+        std::size_t i = 0;
+        /** a word belongs to the segment in whose body it starts **/
+        while( i < seg->len )
+        {
+            while( i < seg->len &&
+                   !std::isalpha( static_cast<unsigned char>(
+                       seg->data[ i ] ) ) )
+            {
+                ++i;
+            }
+            const auto start = i;
+            while( i < seg->len &&
+                   std::isalpha( static_cast<unsigned char>(
+                       seg->data[ i ] ) ) )
+            {
+                ++i;
+            }
+            /** a token at local offset 0 may be the tail of a word the
+             *  previous segment owns: check the byte before (segments
+             *  point into one contiguous corpus) **/
+            const bool continuation =
+                start == 0 && seg->offset > 0 &&
+                std::isalpha( static_cast<unsigned char>(
+                    seg->data[ -1 ] ) );
+            if( i > start && start < seg->body_len && !continuation )
+            {
+                word_t w;
+                w.len = static_cast<std::uint8_t>( std::min<std::size_t>(
+                    i - start, w.text.size() ) );
+                std::copy_n( seg->data + start, w.len,
+                             w.text.begin() );
+                output[ "0" ].push<word_t>( w );
+            }
+        }
+        return raft::proceed;
+    }
+
+    bool clone_supported() const override { return true; }
+    raft::kernel *clone() const override { return new tokenizer(); }
+};
+
+/** Terminal counter. */
+class counter : public raft::kernel
+{
+public:
+    explicit counter( std::map<std::string, std::size_t> *counts )
+        : counts_( counts )
+    {
+        input.addPort<word_t>( "0" );
+    }
+    raft::kstatus run() override
+    {
+        auto w = input[ "0" ].pop_s<word_t>();
+        ++( *counts_ )[ w->str() ];
+        return raft::proceed;
+    }
+
+private:
+    std::map<std::string, std::size_t> *counts_;
+};
+
+} /** end anonymous namespace **/
+
+int main( int argc, char **argv )
+{
+    std::shared_ptr<const std::string> corpus;
+    if( argc > 1 )
+    {
+        std::ifstream f( argv[ 1 ], std::ios::binary );
+        corpus = std::make_shared<const std::string>(
+            std::istreambuf_iterator<char>( f ),
+            std::istreambuf_iterator<char>() );
+    }
+    else
+    {
+        raft::algo::corpus_options o;
+        o.size_bytes = 8u << 20;
+        corpus       = std::make_shared<const std::string>(
+            raft::algo::make_corpus( o ) );
+        std::printf( "demo mode: 8 MiB synthetic corpus\n" );
+    }
+
+    std::map<std::string, std::size_t> counts;
+    raft::map m;
+    /** overlap 1: a word crossing a boundary is owned by the segment it
+     *  starts in; the next segment skips its partial head **/
+    auto p = m.link<raft::out>(
+        raft::kernel::make<raft::filereader>( corpus, 64, 64 * 1024 ),
+        raft::kernel::make<tokenizer>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<counter>( &counts ) );
+    raft::run_options opts;
+    opts.replication_width = 2;
+    m.exe( opts );
+
+    std::vector<std::pair<std::string, std::size_t>> ranked(
+        counts.begin(), counts.end() );
+    std::sort( ranked.begin(), ranked.end(),
+               []( const auto &a, const auto &b ) {
+                   return a.second > b.second;
+               } );
+    std::size_t total = 0;
+    for( const auto &[ w, n ] : ranked )
+    {
+        total += n;
+    }
+    std::printf( "%zu words, %zu distinct; top 10:\n", total,
+                 ranked.size() );
+    for( std::size_t i = 0; i < ranked.size() && i < 10; ++i )
+    {
+        std::printf( "  %-20s %zu\n", ranked[ i ].first.c_str(),
+                     ranked[ i ].second );
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+#include "algo/corpus.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "algo/strmatch.hpp"
+
+namespace raft::algo {
+
+namespace {
+
+/** Plausible syllables so the byte histogram resembles English text. */
+const char *const syllables[] = {
+    "an", "ter", "re", "con", "de", "com", "men", "tion", "ing", "pro",
+    "sta", "per", "sys", "tem", "da", "ta", "stre", "am", "ker", "nel",
+    "queue", "ma", "trix", "li", "b", "ra", "ry", "co", "de", "ex",
+    "e", "cu", "te", "par", "al", "lel", "o", "ver", "head", "thru",
+    "put", "la", "ten", "cy", "buf", "fer", "sched", "ul", "er", "net"
+};
+constexpr std::size_t syllable_count =
+    sizeof( syllables ) / sizeof( syllables[ 0 ] );
+
+std::vector<std::string> build_vocabulary( const std::size_t n,
+                                           std::mt19937_64 &eng )
+{
+    std::vector<std::string> vocab;
+    vocab.reserve( n );
+    std::uniform_int_distribution<std::size_t> syl( 0, syllable_count - 1 );
+    std::uniform_int_distribution<int> parts( 1, 4 );
+    for( std::size_t i = 0; i < n; ++i )
+    {
+        std::string w;
+        const int k = parts( eng );
+        for( int j = 0; j < k; ++j )
+        {
+            w += syllables[ syl( eng ) ];
+        }
+        vocab.push_back( std::move( w ) );
+    }
+    return vocab;
+}
+
+/** Inverse-CDF sampler over a Zipf(s) distribution on [0, n). */
+class zipf_sampler
+{
+public:
+    zipf_sampler( const std::size_t n, const double s )
+    {
+        cdf_.reserve( n );
+        double acc = 0.0;
+        for( std::size_t k = 1; k <= n; ++k )
+        {
+            acc += 1.0 / std::pow( static_cast<double>( k ), s );
+            cdf_.push_back( acc );
+        }
+        for( auto &v : cdf_ )
+        {
+            v /= acc;
+        }
+    }
+
+    std::size_t operator()( std::mt19937_64 &eng ) const
+    {
+        const double u = std::uniform_real_distribution<double>(
+            0.0, 1.0 )( eng );
+        const auto it = std::lower_bound( cdf_.begin(), cdf_.end(), u );
+        return static_cast<std::size_t>( it - cdf_.begin() );
+    }
+
+private:
+    std::vector<double> cdf_;
+};
+
+} /** end anonymous namespace **/
+
+std::string make_corpus( const corpus_options &opt )
+{
+    std::mt19937_64 eng( opt.seed );
+    const auto vocab = build_vocabulary( opt.vocabulary, eng );
+    const zipf_sampler zipf( vocab.size(), opt.zipf_s );
+    std::uniform_int_distribution<std::size_t> line_len(
+        1, std::max<std::size_t>( 2, opt.mean_line_words * 2 ) );
+
+    std::string text;
+    text.reserve( opt.size_bytes + 64 );
+    std::size_t words_left = line_len( eng );
+    while( text.size() < opt.size_bytes )
+    {
+        text += vocab[ zipf( eng ) ];
+        if( --words_left == 0 )
+        {
+            text += '\n';
+            words_left = line_len( eng );
+        }
+        else
+        {
+            text += ' ';
+        }
+    }
+    text.resize( opt.size_bytes );
+
+    /** implant pattern occurrences at the requested density **/
+    if( !opt.pattern.empty() && opt.implant_per_mib > 0.0 &&
+        opt.pattern.size() < opt.size_bytes )
+    {
+        const auto mib = static_cast<double>( opt.size_bytes ) /
+                         ( 1024.0 * 1024.0 );
+        const auto occurrences = static_cast<std::size_t>(
+            std::max( 1.0, mib * opt.implant_per_mib ) );
+        std::uniform_int_distribution<std::size_t> pos(
+            0, opt.size_bytes - opt.pattern.size() );
+        for( std::size_t i = 0; i < occurrences; ++i )
+        {
+            text.replace( pos( eng ), opt.pattern.size(), opt.pattern );
+        }
+    }
+    return text;
+}
+
+std::uint64_t oracle_count( const std::string &text,
+                            const std::string &pattern )
+{
+    const naive_matcher oracle( pattern );
+    return oracle.count( text.data(), text.size() );
+}
+
+} /** end namespace raft::algo **/

@@ -1,0 +1,44 @@
+/**
+ * corpus.hpp — synthetic text-corpus generator.
+ *
+ * Substitute for the paper's 30 GB Stack Exchange post-history dump (§5),
+ * which is unavailable offline. The generator emits English-like text —
+ * Zipf-distributed words built from plausible syllables, punctuation,
+ * line breaks — with a controllable density of implanted pattern
+ * occurrences. String-search throughput depends on byte statistics and
+ * match density, which the generator controls, so relative algorithm
+ * behaviour (the shape of Figure 10) is preserved. Fully deterministic for
+ * a given seed.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace raft::algo {
+
+struct corpus_options
+{
+    std::size_t size_bytes{ 1u << 20 };
+    std::uint64_t seed{ 0x5eedc0ffee ^ 0 };
+    /** Implanted occurrences of `pattern` per MiB (0 = rely on chance). */
+    double implant_per_mib{ 8.0 };
+    std::string pattern;
+    /** Zipf exponent of the word frequency distribution. */
+    double zipf_s{ 1.1 };
+    std::size_t vocabulary{ 4096 };
+    std::size_t mean_line_words{ 12 };
+};
+
+/** Generate a corpus per `opt`. The returned string has exactly
+ *  opt.size_bytes bytes. */
+std::string make_corpus( const corpus_options &opt );
+
+/** Ground-truth occurrence count of `pattern` in `text` (overlapping),
+ *  computed with the naive oracle — used by tests and benches to validate
+ *  every parallel pipeline's result. */
+std::uint64_t oracle_count( const std::string &text,
+                            const std::string &pattern );
+
+} /** end namespace raft::algo **/

@@ -1,0 +1,212 @@
+/**
+ * strmatch.hpp — exact string-matching algorithms (paper §5).
+ *
+ * The benchmark study parallelizes two algorithms with RaftLib:
+ *  - Aho–Corasick [4]: automaton-based, "quite good for multiple string
+ *    patterns"; examines every input byte.
+ *  - Boyer–Moore–Horspool [27]: "often much faster for single pattern
+ *    matching"; skips heuristically, so its downstream data volume is
+ *    highly data-dependent (§3's dynamic-rate discussion).
+ *
+ * Also implemented:
+ *  - Boyer–Moore (bad-character + good-suffix): the algorithm the paper's
+ *    Apache Spark comparator runs;
+ *  - memchr_matcher: memchr-accelerated first-byte scan + verify, standing
+ *    in for GNU grep's tuned single-pattern matcher in the pgrep baseline;
+ *  - naive_matcher: the obviously-correct oracle for property tests.
+ *
+ * All matchers implement the same interface over a byte window; both a
+ * position-reporting find() and an allocation-free count() are provided
+ * (count() is the hot path of the throughput benchmarks).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace raft::algo {
+
+/** Called per match: (start position within the window, pattern index). */
+using match_cb = std::function<void( std::size_t, std::uint32_t )>;
+
+class matcher
+{
+public:
+    virtual ~matcher() = default;
+
+    /** Report every match with its start position in [0, len). */
+    virtual void find( const char *data, std::size_t len,
+                       const match_cb &on_match ) const = 0;
+
+    /** Number of matches (no allocation, no callback overhead). */
+    virtual std::uint64_t count( const char *data,
+                                 std::size_t len ) const = 0;
+
+    virtual const char *name() const noexcept = 0;
+
+    /** Longest pattern length — the segment overlap needed so boundary-
+     *  straddling matches are found (max_pattern_len() - 1 bytes). */
+    virtual std::size_t max_pattern_len() const noexcept = 0;
+};
+
+/** Brute-force oracle: correct by inspection. */
+class naive_matcher final : public matcher
+{
+public:
+    explicit naive_matcher( std::string pattern );
+    void find( const char *data, std::size_t len,
+               const match_cb &on_match ) const override;
+    std::uint64_t count( const char *data, std::size_t len ) const override;
+    const char *name() const noexcept override { return "naive"; }
+    std::size_t max_pattern_len() const noexcept override
+    {
+        return pattern_.size();
+    }
+
+private:
+    std::string pattern_;
+};
+
+/** memchr on the first byte + memcmp verify (grep's hot loop in spirit). */
+class memchr_matcher final : public matcher
+{
+public:
+    explicit memchr_matcher( std::string pattern );
+    void find( const char *data, std::size_t len,
+               const match_cb &on_match ) const override;
+    std::uint64_t count( const char *data, std::size_t len ) const override;
+    const char *name() const noexcept override { return "memchr"; }
+    std::size_t max_pattern_len() const noexcept override
+    {
+        return pattern_.size();
+    }
+
+private:
+    std::string pattern_;
+};
+
+/** Boyer–Moore–Horspool [27]: bad-character skip only. */
+class bmh_matcher final : public matcher
+{
+public:
+    explicit bmh_matcher( std::string pattern );
+    void find( const char *data, std::size_t len,
+               const match_cb &on_match ) const override;
+    std::uint64_t count( const char *data, std::size_t len ) const override;
+    const char *name() const noexcept override
+    {
+        return "boyer-moore-horspool";
+    }
+    std::size_t max_pattern_len() const noexcept override
+    {
+        return pattern_.size();
+    }
+
+private:
+    std::string pattern_;
+    std::size_t skip_[ 256 ];
+};
+
+/** Full Boyer–Moore: bad-character + good-suffix rules. */
+class bm_matcher final : public matcher
+{
+public:
+    explicit bm_matcher( std::string pattern );
+    void find( const char *data, std::size_t len,
+               const match_cb &on_match ) const override;
+    std::uint64_t count( const char *data, std::size_t len ) const override;
+    const char *name() const noexcept override { return "boyer-moore"; }
+    std::size_t max_pattern_len() const noexcept override
+    {
+        return pattern_.size();
+    }
+
+private:
+    std::string pattern_;
+    std::vector<std::ptrdiff_t> bad_char_; /** 256 entries             */
+    std::vector<std::size_t> good_suffix_;
+};
+
+/** Aho–Corasick [4]: multi-pattern automaton with dense goto tables. */
+class aho_corasick_matcher final : public matcher
+{
+public:
+    explicit aho_corasick_matcher( std::vector<std::string> patterns );
+    explicit aho_corasick_matcher( std::string pattern )
+        : aho_corasick_matcher(
+              std::vector<std::string>{ std::move( pattern ) } )
+    {
+    }
+
+    void find( const char *data, std::size_t len,
+               const match_cb &on_match ) const override;
+    std::uint64_t count( const char *data, std::size_t len ) const override;
+    const char *name() const noexcept override { return "aho-corasick"; }
+    std::size_t max_pattern_len() const noexcept override
+    {
+        return max_len_;
+    }
+
+    std::size_t state_count() const noexcept { return node_count_; }
+
+private:
+    struct output
+    {
+        std::uint32_t rule;
+        std::uint32_t len;
+    };
+
+    std::vector<std::string> patterns_;
+    std::size_t max_len_{ 0 };
+    std::size_t node_count_{ 0 };
+    /** dense transition table: next_[state * 256 + byte] */
+    std::vector<std::uint32_t> next_;
+    /** per-state match outputs (patterns ending at this state, including
+     *  via failure-link chains — precomputed flat) */
+    std::vector<std::vector<output>> outputs_;
+    /** per-state count of outputs (fast path for count()) */
+    std::vector<std::uint32_t> out_count_;
+};
+
+/** Algorithm tags used by the search kernel's template parameter:
+ *  `search< ahocorasick >` / `search< boyermoore >` (Figure 9). */
+struct ahocorasick
+{
+};
+struct boyermoore
+{
+};
+struct boyermoorehorspool
+{
+};
+
+/** Factory keyed by tag type. */
+template <class Tag>
+std::unique_ptr<matcher> make_matcher( const std::string &pattern );
+
+template <>
+inline std::unique_ptr<matcher>
+make_matcher<ahocorasick>( const std::string &pattern )
+{
+    return std::make_unique<aho_corasick_matcher>( pattern );
+}
+
+template <>
+inline std::unique_ptr<matcher>
+make_matcher<boyermoore>( const std::string &pattern )
+{
+    return std::make_unique<bm_matcher>( pattern );
+}
+
+template <>
+inline std::unique_ptr<matcher>
+make_matcher<boyermoorehorspool>( const std::string &pattern )
+{
+    return std::make_unique<bmh_matcher>( pattern );
+}
+
+} /** end namespace raft::algo **/

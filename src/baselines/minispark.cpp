@@ -1,0 +1,121 @@
+#include "baselines/minispark.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "algo/strmatch.hpp"
+
+namespace raft::baselines {
+
+executor_pool::executor_pool( const unsigned executors )
+    : executors_( std::max( 1u, executors ) )
+{
+    for( unsigned i = 0; i < executors_; ++i )
+    {
+        threads_.emplace_back( [ this ]() { worker(); } );
+    }
+}
+
+executor_pool::~executor_pool()
+{
+    {
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for( auto &t : threads_ )
+    {
+        t.join();
+    }
+}
+
+std::future<void> executor_pool::submit( std::function<void()> task )
+{
+    std::packaged_task<void()> pt( std::move( task ) );
+    auto fut = pt.get_future();
+    {
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        queue_.push_back( std::move( pt ) );
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void executor_pool::worker()
+{
+    for( ;; )
+    {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock( mutex_ );
+            cv_.wait( lock,
+                      [ this ]() { return shutdown_ || !queue_.empty(); } );
+            if( queue_.empty() )
+            {
+                return; /** shutdown with drained queue **/
+            }
+            task = std::move( queue_.front() );
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+minispark_context::minispark_context( const unsigned executors )
+    : pool_( executors )
+{
+}
+
+void minispark_context::busy_wait( const double seconds )
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    while( std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0 )
+               .count() < seconds )
+    {
+        /** driver-side overhead is CPU-bound in the real system **/
+    }
+}
+
+std::uint64_t spark_search( minispark_context &ctx,
+                            const std::string &corpus,
+                            const std::string &pattern,
+                            const spark_job_options &opt )
+{
+    const algo::bm_matcher matcher( pattern );
+    const auto m       = pattern.size();
+    const auto overlap = m > 0 ? m - 1 : 0;
+    const auto part    = std::max<std::size_t>( opt.partition_bytes, m );
+    const auto n_parts =
+        ( corpus.size() + part - 1 ) / std::max<std::size_t>( part, 1 );
+
+    const std::function<std::uint64_t( std::size_t )> task =
+        [ & ]( const std::size_t p ) -> std::uint64_t {
+        const auto begin = p * part;
+        if( begin >= corpus.size() )
+        {
+            return 0;
+        }
+        const auto body = std::min( part, corpus.size() - begin );
+        const auto len =
+            std::min( body + overlap, corpus.size() - begin );
+        /** count matches starting in the body only (overlap dedup) **/
+        std::uint64_t n = 0;
+        matcher.find( corpus.data() + begin, len,
+                      [ & ]( const std::size_t pos, std::uint32_t ) {
+                          if( pos < body )
+                          {
+                              ++n;
+                          }
+                      } );
+        return n;
+    };
+
+    const auto partials = ctx.run_partitions<std::uint64_t>(
+        n_parts, task, opt.task_overhead_s );
+    return std::accumulate( partials.begin(), partials.end(),
+                            std::uint64_t{ 0 } );
+}
+
+} /** end namespace raft::baselines **/

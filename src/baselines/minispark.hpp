@@ -1,0 +1,117 @@
+/**
+ * minispark.hpp — a miniature Spark-like execution framework (baseline).
+ *
+ * The paper's Figure 10 compares RaftLib against "a text matching
+ * application implemented using the Boyer-Moore algorithm implemented in
+ * Scala running on the popular Apache Spark framework." No JVM is available
+ * offline, so this substrate reproduces Spark's *execution structure* in
+ * C++: a driver that splits a dataset into partitions and dispatches one
+ * task per partition, serially, onto an executor pool; executors run the
+ * task function and ship results back; collect() gathers them in partition
+ * order. Per-task dispatch cost is real (queue + wake-up), and an optional
+ * artificial per-task overhead lets experiments dial in JVM-scale dispatch
+ * costs.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace raft::baselines {
+
+/** Fixed pool of executor threads fed by a single (driver) queue. */
+class executor_pool
+{
+public:
+    explicit executor_pool( unsigned executors );
+    ~executor_pool();
+
+    executor_pool( const executor_pool & )            = delete;
+    executor_pool &operator=( const executor_pool & ) = delete;
+
+    /** Enqueue a task (driver-side, serialized). */
+    std::future<void> submit( std::function<void()> task );
+
+    unsigned size() const noexcept { return executors_; }
+
+private:
+    void worker();
+
+    unsigned executors_;
+    std::vector<std::thread> threads_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool shutdown_{ false };
+};
+
+struct spark_job_options
+{
+    std::size_t partition_bytes{ 32u << 20 };
+    /** Artificial per-task driver overhead (models JVM dispatch /
+     *  serialization when calibrating against the paper). */
+    double task_overhead_s{ 0.0 };
+};
+
+/** Context: owns the executor pool, runs partitioned jobs. */
+class minispark_context
+{
+public:
+    explicit minispark_context( unsigned executors );
+
+    /**
+     * mapPartitions + collect: run `task(partition_index)` for each of
+     * `n_partitions`, dispatching serially from the driver; returns
+     * results in partition order.
+     */
+    template <class R>
+    std::vector<R> run_partitions(
+        const std::size_t n_partitions,
+        const std::function<R( std::size_t )> &task,
+        const double task_overhead_s = 0.0 )
+    {
+        std::vector<R> results( n_partitions );
+        std::vector<std::future<void>> futures;
+        futures.reserve( n_partitions );
+        for( std::size_t p = 0; p < n_partitions; ++p )
+        {
+            if( task_overhead_s > 0.0 )
+            {
+                busy_wait( task_overhead_s );
+            }
+            futures.push_back( pool_.submit(
+                [ &results, &task, p ]() { results[ p ] = task( p ); } ) );
+        }
+        for( auto &f : futures )
+        {
+            f.get();
+        }
+        return results;
+    }
+
+    executor_pool &pool() noexcept { return pool_; }
+
+private:
+    static void busy_wait( double seconds );
+
+    executor_pool pool_;
+};
+
+/**
+ * The paper's comparator job: count occurrences of `pattern` in `corpus`
+ * with Boyer–Moore over fixed partitions (boundary overlap handled).
+ */
+std::uint64_t spark_search( minispark_context &ctx,
+                            const std::string &corpus,
+                            const std::string &pattern,
+                            const spark_job_options &opt = {} );
+
+} /** end namespace raft::baselines **/

@@ -1,0 +1,86 @@
+#include "baselines/pgrep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "algo/strmatch.hpp"
+
+namespace raft::baselines {
+
+std::uint64_t pgrep_count( const std::string &corpus,
+                           const std::string &pattern,
+                           const pgrep_options &opt )
+{
+    const algo::memchr_matcher matcher( pattern );
+    const auto m       = pattern.size();
+    const auto overlap = m > 0 ? m - 1 : 0;
+    const auto block   = std::max<std::size_t>( opt.block_bytes, m );
+
+    std::atomic<std::uint64_t> total{ 0 };
+    std::counting_semaphore<> slots(
+        static_cast<std::ptrdiff_t>( std::max( 1u, opt.jobs ) ) );
+    std::vector<std::thread> workers;
+
+    /** distributor: single-threaded walk over the corpus **/
+    std::size_t begin = 0;
+    while( begin < corpus.size() )
+    {
+        const auto body = std::min( block, corpus.size() - begin );
+        const auto len =
+            std::min( body + overlap, corpus.size() - begin );
+
+        /** GNU Parallel pushes each block through a pipe: the parent
+         *  touches every byte once more. Model with a real copy. */
+        std::vector<char> piped;
+        if( opt.copy_through_pipe_buffer )
+        {
+            piped.assign( corpus.data() + begin,
+                          corpus.data() + begin + len );
+        }
+
+        slots.acquire(); /** at most `jobs` concurrent workers **/
+        if( opt.extra_spawn_s > 0.0 )
+        {
+            const auto t0 = std::chrono::steady_clock::now();
+            while( std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0 )
+                       .count() < opt.extra_spawn_s )
+            {
+                /** fork+exec cost of a fresh grep process **/
+            }
+        }
+        workers.emplace_back(
+            [ &matcher, &total, &slots, body,
+              data = std::move( piped ),
+              direct = opt.copy_through_pipe_buffer
+                           ? nullptr
+                           : corpus.data() + begin,
+              len ]() {
+                const char *p = direct != nullptr ? direct : data.data();
+                std::uint64_t n = 0;
+                matcher.find( p, len,
+                              [ & ]( const std::size_t pos,
+                                     std::uint32_t ) {
+                                  if( pos < body )
+                                  {
+                                      ++n;
+                                  }
+                              } );
+                total.fetch_add( n, std::memory_order_relaxed );
+                slots.release();
+            } );
+        begin += body;
+    }
+    for( auto &t : workers )
+    {
+        t.join();
+    }
+    return total.load();
+}
+
+} /** end namespace raft::baselines **/

@@ -1,0 +1,27 @@
+#include "core/defs.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+#if defined( __GNUG__ )
+#include <cxxabi.h>
+#endif
+
+namespace raft::detail {
+
+std::string demangle( const std::type_info &ti )
+{
+#if defined( __GNUG__ )
+    int status = 0;
+    std::unique_ptr<char, void ( * )( void * )> demangled(
+        abi::__cxa_demangle( ti.name(), nullptr, nullptr, &status ),
+        std::free );
+    if( status == 0 && demangled )
+    {
+        return std::string( demangled.get() );
+    }
+#endif
+    return std::string( ti.name() );
+}
+
+} /** end namespace raft::detail **/

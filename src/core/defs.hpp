@@ -1,0 +1,88 @@
+/**
+ * defs.hpp — foundational constants and small utilities shared across the
+ * RaftLib reproduction: cache-line geometry, monotonic clock helpers,
+ * progressive backoff for blocking queue operations, power-of-two math and
+ * type-name demangling for diagnostics.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <typeinfo>
+
+namespace raft {
+
+/** Size assumed for destructive-interference padding of hot atomics. */
+inline constexpr std::size_t cacheline_size = 64;
+
+namespace detail {
+
+/** Monotonic nanosecond timestamp (steady clock). */
+inline std::int64_t now_ns() noexcept
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Progressive backoff used while a queue end waits for space/data: spin a
+ * little, then yield, then sleep briefly. The sleep keeps a blocked side
+ * cheap on oversubscribed machines (this host has a single core, so yielding
+ * promptly matters for forward progress).
+ */
+class backoff
+{
+public:
+    void pause() noexcept
+    {
+        if( count_ < spin_limit )
+        {
+#if defined( __x86_64__ ) || defined( __i386__ )
+            __builtin_ia32_pause();
+#endif
+        }
+        else if( count_ < yield_limit )
+        {
+            std::this_thread::yield();
+        }
+        else
+        {
+            std::this_thread::sleep_for( std::chrono::microseconds( 50 ) );
+        }
+        ++count_;
+    }
+
+    void reset() noexcept { count_ = 0; }
+
+private:
+    static constexpr int spin_limit  = 64;
+    static constexpr int yield_limit = 256;
+    int count_ = 0;
+};
+
+/** Smallest power of two >= v (v == 0 yields 1). */
+constexpr std::size_t pow2_ceil( std::size_t v ) noexcept
+{
+    std::size_t p = 1;
+    while( p < v )
+    {
+        p <<= 1;
+    }
+    return p;
+}
+
+constexpr bool is_pow2( std::size_t v ) noexcept
+{
+    return v != 0 && ( v & ( v - 1 ) ) == 0;
+}
+
+/** Human-readable name for a std::type_info (demangled where supported). */
+std::string demangle( const std::type_info &ti );
+
+} /** end namespace detail **/
+
+} /** end namespace raft **/

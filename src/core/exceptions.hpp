@@ -1,0 +1,101 @@
+/**
+ * exceptions.hpp — exception hierarchy for the RaftLib reproduction.
+ *
+ * All library errors derive from raft::raft_exception. The scheduler uses
+ * closed_port_exception as the normal end-of-stream control path for a
+ * kernel blocking on a drained upstream (see scheduler.hpp).
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace raft {
+
+/** Base class of every exception thrown by the library. */
+class raft_exception : public std::runtime_error
+{
+public:
+    explicit raft_exception( const std::string &what )
+        : std::runtime_error( what )
+    {
+    }
+};
+
+/** Read attempted on a stream whose writer closed and whose queue drained. */
+class closed_port_exception : public raft_exception
+{
+public:
+    explicit closed_port_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** Port accessed with a C++ type different from its declared type. */
+class type_mismatch_exception : public raft_exception
+{
+public:
+    explicit type_mismatch_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** Two linked ports carry incompatible (non-convertible) types. */
+class link_type_exception : public raft_exception
+{
+public:
+    explicit link_type_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** Port name not found, added twice, or linked twice. */
+class port_exception : public raft_exception
+{
+public:
+    explicit port_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** Topology invalid: unlinked ports, empty map, disconnected graph. */
+class graph_exception : public raft_exception
+{
+public:
+    explicit graph_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/**
+ * A reader demanded more items than the stream can ever hold and dynamic
+ * resizing is disabled, so the program cannot continue (§4: "If a kernel
+ * asks to receive five items and the buffer size is only allocated for two,
+ * the program cannot continue" — with the monitor enabled the queue is
+ * resized instead of throwing).
+ */
+class demand_exceeds_capacity_exception : public raft_exception
+{
+public:
+    explicit demand_exceeds_capacity_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** Network substrate ("oar") failures: socket setup, peer loss, etc. */
+class net_exception : public raft_exception
+{
+public:
+    explicit net_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,347 @@
+/**
+ * fifo.hpp — the stream abstraction.
+ *
+ * Every communication link between two compute kernels is a FIFO queue
+ * (paper §1). This header defines:
+ *
+ *  - fifo_base : the type-erased interface the runtime (monitor thread,
+ *                split/reduce adapters, allocator, statistics) works with;
+ *  - fifo<T>   : the typed interface kernels use through their ports, with
+ *                blocking push/pop, claim-based peek, sliding-window
+ *                peek_range (§3), and try_* variants for adapters;
+ *  - autorelease<T> / allocate_ref<T> : the RAII return objects behind the
+ *                pop_s / allocate_s accessors of Figure 2 — items are popped
+ *                from the incoming queue / published to the outgoing queue
+ *                when the object exits the calling scope;
+ *  - peek_range_t<T> : a window over n queued items without copying.
+ *
+ * Concrete implementation: ring_buffer<T> (ringbuffer.hpp); the TCP link of
+ * the distributed substrate wraps a ring_buffer with pump threads
+ * (net/tcp_link.hpp), so kernels observe identical semantics either way.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <typeinfo>
+#include <utility>
+
+#include "core/exceptions.hpp"
+#include "core/signal.hpp"
+
+namespace raft {
+
+template <class T> class fifo;
+template <class T> class autorelease;
+template <class T> class allocate_ref;
+template <class T> class peek_range_t;
+
+/**
+ * Type-erased FIFO interface. The runtime never needs to know the element
+ * type: occupancy monitoring, dynamic resizing, element transfer between
+ * same-typed queues (split/reduce adapters) and arithmetic conversion all
+ * operate through this interface.
+ */
+class fifo_base
+{
+public:
+    virtual ~fifo_base() = default;
+
+    /** @name occupancy */
+    ///@{
+    virtual std::size_t size() const noexcept          = 0;
+    virtual std::size_t capacity() const noexcept      = 0;
+    virtual std::size_t space_avail() const noexcept   = 0;
+    ///@}
+
+    /** @name lifecycle
+     * A producer-side close makes end-of-stream observable: once the queue
+     * drains, blocked readers receive closed_port_exception. A reader-side
+     * close (issued by the runtime when the consuming kernel terminates
+     * early) unblocks and terminates producers the same way.
+     */
+    ///@{
+    virtual void close_write() noexcept        = 0;
+    virtual bool write_closed() const noexcept = 0;
+    virtual void close_read() noexcept         = 0;
+    virtual bool read_closed() const noexcept  = 0;
+    bool drained() const noexcept { return write_closed() && size() == 0; }
+    ///@}
+
+    /** @name dynamic resizing (monitor thread)
+     * resize() parks both queue ends via the gate protocol (see
+     * ring_buffer), relocates elements unwrapped, and swaps storage. It
+     * gives up and returns false if an end cannot be parked within a bounded
+     * wait (the monitor simply retries next tick, §4's "only under certain
+     * conditions to maximize resizing efficiency").
+     */
+    ///@{
+    virtual bool resize( std::size_t new_capacity ) = 0;
+    /** Reader overflow demand (peek_range larger than capacity); 0 if none. */
+    virtual std::size_t resize_request() const noexcept = 0;
+    /** ns timestamp when the writer began blocking; 0 if not blocked. */
+    virtual std::int64_t write_blocked_since() const noexcept = 0;
+    /** ns timestamp when the reader began blocking; 0 if not blocked. */
+    virtual std::int64_t read_blocked_since() const noexcept = 0;
+    /** Number of completed resizes over the queue's lifetime. */
+    virtual std::size_t resize_count() const noexcept = 0;
+    /** Monitor registration: permits reader-overflow demands to grow the
+     *  queue instead of throwing demand_exceeds_capacity_exception. */
+    virtual void set_auto_resize( bool enabled ) noexcept = 0;
+    virtual bool auto_resize() const noexcept             = 0;
+    ///@}
+
+    /** Consume n elements without reading them (type-erased so ports can
+     *  expose it without a template parameter; releases any held claim). */
+    virtual void recycle( std::size_t n = 1 ) = 0;
+
+    /** @name adapters */
+    ///@{
+    /**
+     * Move one element (with its signal) from this queue into dst, which
+     * must carry the same element type. Non-blocking: returns false if this
+     * queue is empty, dst is full, or the types differ. Used by the default
+     * split/reduce adapters so they remain fully type-erased.
+     */
+    virtual bool try_transfer_to( fifo_base &dst ) = 0;
+    ///@}
+
+    /** @name introspection */
+    ///@{
+    virtual const std::type_info &value_type() const noexcept = 0;
+    virtual std::size_t element_size() const noexcept         = 0;
+    /** Monotonic lifetime counters (survive resizes). */
+    virtual std::uint64_t total_pushed() const noexcept = 0;
+    virtual std::uint64_t total_popped() const noexcept = 0;
+    ///@}
+
+    /** @name raw arithmetic access (conversion adapters)
+     * The map's type checker inserts a conversion kernel when two linked
+     * arithmetic ports disagree on type ("the run-time selects the narrowest
+     * convertible type for each link type and casts the types at each
+     * endpoint", §4.2). The adapter is type-erased, so it moves values as
+     * doubles through these hooks. Only arithmetic-element queues implement
+     * them; others return false.
+     */
+    ///@{
+    virtual bool try_pop_as_double( double &out, signal &sig )      = 0;
+    virtual bool try_push_from_double( double value, signal sig )   = 0;
+    ///@}
+};
+
+/**
+ * Typed FIFO interface. All blocking operations honour end-of-stream: a
+ * blocked read on a drained queue throws closed_port_exception, a blocked
+ * write on a reader-closed queue likewise — the scheduler treats that
+ * exception as normal kernel completion.
+ *
+ * Claim discipline (single-producer / single-consumer): peek()/peek_range()
+ * hold the consumer-side claim so the monitor cannot resize storage out from
+ * under a borrowed reference; the claim is released by pop()/recycle()/
+ * unpeek() or by the RAII wrapper's destructor.
+ */
+template <class T> class fifo : public fifo_base
+{
+public:
+    using value_type = T;
+
+    /** @name blocking element operations */
+    ///@{
+    virtual void push( const T &value, signal sig = none ) = 0;
+    virtual void push( T &&value, signal sig = none )      = 0;
+    virtual void pop( T &out, signal *sig = nullptr )      = 0;
+
+    /** Borrow the head element; holds the consumer claim (see class docs). */
+    virtual const T &peek( signal *sig = nullptr ) = 0;
+    /** Release a claim taken by peek() without consuming the element. */
+    virtual void unpeek() noexcept = 0;
+    ///@}
+
+    /** @name non-blocking variants (adapters, pool scheduler) */
+    ///@{
+    virtual bool try_push( T &&value, signal sig = none ) = 0;
+    virtual bool try_pop( T &out, signal *sig = nullptr ) = 0;
+    ///@}
+
+    /** @name claim primitives behind the RAII accessors */
+    ///@{
+    /** Block until an element is readable, take the consumer claim and
+     *  return a reference to the head element. */
+    virtual T &claim_head( signal &sig ) = 0;
+    /** Consume the claimed head and release the claim. */
+    virtual void consume_head() noexcept = 0;
+    /** Release the claim without consuming. */
+    virtual void release_head() noexcept = 0;
+    /** Block until a slot is writable, take the producer claim and return a
+     *  pointer to a default-constructed element in place. */
+    virtual T *claim_tail() = 0;
+    /** Publish the claimed tail slot with signal `sig`, release the claim. */
+    virtual void publish_tail( signal sig ) noexcept = 0;
+    /** Destroy the claimed tail slot unpublished, release the claim. */
+    virtual void abandon_tail() noexcept = 0;
+    /** Block until n elements are readable (growing the queue through the
+     *  monitor if n exceeds capacity), take the consumer claim and return
+     *  the window geometry: base slot array, logical start, index mask. */
+    virtual void claim_window( std::size_t n,
+                               T **data,
+                               std::uint64_t *start,
+                               std::size_t *mask ) = 0;
+    ///@}
+
+    /** @name sugar: the Figure 2 access style */
+    ///@{
+    autorelease<T> pop_s() { return autorelease<T>( *this ); }
+    allocate_ref<T> allocate_s() { return allocate_ref<T>( *this ); }
+    peek_range_t<T> peek_range( const std::size_t n )
+    {
+        return peek_range_t<T>( *this, n );
+    }
+    ///@}
+
+    const std::type_info &value_type_info() const noexcept
+    {
+        return typeid( T );
+    }
+};
+
+/**
+ * RAII result of pop_s(): a reference to the head of the incoming queue that
+ * pops automatically "when the variable exits the calling scope" (§4.2). The
+ * associated synchronous signal is available through sig().
+ */
+template <class T> class autorelease
+{
+public:
+    explicit autorelease( fifo<T> &f ) : fifo_( &f )
+    {
+        value_ = &fifo_->claim_head( sig_ );
+    }
+
+    autorelease( autorelease &&other ) noexcept
+        : fifo_( other.fifo_ ), value_( other.value_ ), sig_( other.sig_ )
+    {
+        other.fifo_  = nullptr;
+        other.value_ = nullptr;
+    }
+
+    autorelease( const autorelease & )            = delete;
+    autorelease &operator=( const autorelease & ) = delete;
+    autorelease &operator=( autorelease && )      = delete;
+
+    ~autorelease()
+    {
+        if( fifo_ != nullptr )
+        {
+            fifo_->consume_head();
+        }
+    }
+
+    T &operator*() noexcept { return *value_; }
+    const T &operator*() const noexcept { return *value_; }
+    T *operator->() noexcept { return value_; }
+    const T *operator->() const noexcept { return value_; }
+
+    /** Synchronous signal delivered with this element. */
+    signal sig() const noexcept { return sig_; }
+
+private:
+    fifo<T> *fifo_;
+    T *value_;
+    signal sig_{ none };
+};
+
+/**
+ * RAII result of allocate_s(): a writable reference to a slot at the tail of
+ * the outgoing queue, pushed automatically at scope exit (§4.2, Figure 2).
+ * The element is constructed in place — zero copies on the send path.
+ */
+template <class T> class allocate_ref
+{
+public:
+    explicit allocate_ref( fifo<T> &f ) : fifo_( &f )
+    {
+        value_ = fifo_->claim_tail();
+    }
+
+    allocate_ref( allocate_ref &&other ) noexcept
+        : fifo_( other.fifo_ ), value_( other.value_ ), sig_( other.sig_ )
+    {
+        other.fifo_  = nullptr;
+        other.value_ = nullptr;
+    }
+
+    allocate_ref( const allocate_ref & )            = delete;
+    allocate_ref &operator=( const allocate_ref & ) = delete;
+    allocate_ref &operator=( allocate_ref && )      = delete;
+
+    ~allocate_ref()
+    {
+        if( fifo_ != nullptr )
+        {
+            fifo_->publish_tail( sig_ );
+        }
+    }
+
+    T &operator*() noexcept { return *value_; }
+    T *operator->() noexcept { return value_; }
+
+    /** Set the synchronous signal to publish with this element. */
+    void set_signal( const signal s ) noexcept { sig_ = s; }
+
+private:
+    fifo<T> *fifo_;
+    T *value_;
+    signal sig_{ none };
+};
+
+/**
+ * Sliding window over the next n queued elements (§3: "the stream access
+ * pattern is often that of a sliding window... accommodated through a
+ * peek_range function"). Elements stay in the queue; indexing handles ring
+ * wrap transparently. The consumer claim is held for the window's lifetime,
+ * deferring any monitor resize. Call recycle(k) afterwards (or let the
+ * window release and pop nothing) to slide.
+ */
+template <class T> class peek_range_t
+{
+public:
+    peek_range_t( fifo<T> &f, const std::size_t n ) : fifo_( &f ), size_( n )
+    {
+        fifo_->claim_window( n, &data_, &start_, &mask_ );
+    }
+
+    peek_range_t( peek_range_t &&other ) noexcept
+        : fifo_( other.fifo_ ), data_( other.data_ ), start_( other.start_ ),
+          mask_( other.mask_ ), size_( other.size_ )
+    {
+        other.fifo_ = nullptr;
+    }
+
+    peek_range_t( const peek_range_t & )            = delete;
+    peek_range_t &operator=( const peek_range_t & ) = delete;
+    peek_range_t &operator=( peek_range_t && )      = delete;
+
+    ~peek_range_t()
+    {
+        if( fifo_ != nullptr )
+        {
+            fifo_->release_head();
+        }
+    }
+
+    std::size_t size() const noexcept { return size_; }
+
+    const T &operator[]( const std::size_t i ) const noexcept
+    {
+        return data_[ ( start_ + i ) & mask_ ];
+    }
+
+private:
+    fifo<T> *fifo_;
+    T *data_{ nullptr };
+    std::uint64_t start_{ 0 };
+    std::size_t mask_{ 0 };
+    std::size_t size_;
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,161 @@
+/**
+ * graph.hpp — application topology: the kernels and the typed streams
+ * connecting them, as assembled by map::link() calls. The runtime validates,
+ * optionally rewrites (automatic parallelization, type conversion) and then
+ * materializes this structure at exe() time.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/kernel.hpp"
+
+namespace raft {
+
+/** Link ordering semantics selected at link time via template parameter:
+ *  `map.link< raft::out >(...)` marks the stream safe for out-of-order
+ *  processing, making the downstream kernel a candidate for automatic
+ *  replication (§4.1). */
+enum order : int
+{
+    in_order = 0,
+    out      = 1
+};
+
+struct edge
+{
+    kernel *src;
+    std::string src_port;
+    kernel *dst;
+    std::string dst_port;
+    order ord{ in_order };
+};
+
+/**
+ * The assembled application graph. Kernel pointers are non-owning here;
+ * ownership lives with the map (for kernel::make-allocated kernels) or the
+ * caller.
+ */
+class topology
+{
+public:
+    /** Registers k if unseen; returns its index. */
+    std::size_t add_kernel( kernel *k )
+    {
+        for( std::size_t i = 0; i < kernels_.size(); ++i )
+        {
+            if( kernels_[ i ] == k )
+            {
+                return i;
+            }
+        }
+        kernels_.push_back( k );
+        return kernels_.size() - 1;
+    }
+
+    void add_edge( edge e )
+    {
+        add_kernel( e.src );
+        add_kernel( e.dst );
+        edges_.push_back( std::move( e ) );
+    }
+
+    const std::vector<kernel *> &kernels() const noexcept { return kernels_; }
+    const std::vector<edge> &edges() const noexcept { return edges_; }
+    std::vector<edge> &edges() noexcept { return edges_; }
+
+    std::vector<const edge *> out_edges( const kernel *k ) const
+    {
+        std::vector<const edge *> r;
+        for( const auto &e : edges_ )
+        {
+            if( e.src == k )
+            {
+                r.push_back( &e );
+            }
+        }
+        return r;
+    }
+
+    std::vector<const edge *> in_edges( const kernel *k ) const
+    {
+        std::vector<const edge *> r;
+        for( const auto &e : edges_ )
+        {
+            if( e.dst == k )
+            {
+                r.push_back( &e );
+            }
+        }
+        return r;
+    }
+
+    bool empty() const noexcept { return edges_.empty(); }
+
+    /**
+     * True when the undirected version of the graph is connected — the
+     * paper's first exe()-time check ("the graph is first checked to ensure
+     * it is fully connected", §4.2).
+     */
+    bool connected() const
+    {
+        if( kernels_.empty() )
+        {
+            return false;
+        }
+        std::vector<bool> seen( kernels_.size(), false );
+        std::vector<std::size_t> stack{ 0 };
+        seen[ 0 ] = true;
+        std::size_t visited = 1;
+        while( !stack.empty() )
+        {
+            const auto i = stack.back();
+            stack.pop_back();
+            const kernel *k = kernels_[ i ];
+            for( const auto &e : edges_ )
+            {
+                const kernel *peer = nullptr;
+                if( e.src == k )
+                {
+                    peer = e.dst;
+                }
+                else if( e.dst == k )
+                {
+                    peer = e.src;
+                }
+                if( peer == nullptr )
+                {
+                    continue;
+                }
+                const auto j = index_of( peer );
+                if( !seen[ j ] )
+                {
+                    seen[ j ] = true;
+                    ++visited;
+                    stack.push_back( j );
+                }
+            }
+        }
+        return visited == kernels_.size();
+    }
+
+    std::size_t index_of( const kernel *k ) const
+    {
+        for( std::size_t i = 0; i < kernels_.size(); ++i )
+        {
+            if( kernels_[ i ] == k )
+            {
+                return i;
+            }
+        }
+        return static_cast<std::size_t>( -1 );
+    }
+
+private:
+    std::vector<kernel *> kernels_;
+    std::vector<edge> edges_;
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,114 @@
+/**
+ * kernel.hpp — raft::kernel, the unit of computation.
+ *
+ * "A new compute kernel is defined by extending raft::kernel" (§4.2,
+ * Figure 2): declare ports in the constructor, implement run() — the
+ * kernel's "main" function, called repeatedly by the scheduler. Kernels are
+ * sequential; the runtime supplies the parallelism.
+ *
+ * Kernels that can safely process streams out of order additionally
+ * implement clone() (returning a fresh instance with identical
+ * configuration); the runtime may then replicate them behind split/reduce
+ * adapters when their links are marked raft::out (§4.1).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "core/defs.hpp"
+#include "core/kstatus.hpp"
+#include "core/port.hpp"
+#include "core/signal.hpp"
+
+namespace raft {
+
+class kernel
+{
+public:
+    kernel();
+    virtual ~kernel() = default;
+
+    kernel( const kernel & )            = delete;
+    kernel &operator=( const kernel & ) = delete;
+
+    /**
+     * One scheduling quantum of work. Return raft::proceed to be scheduled
+     * again, raft::stop when finished (sources). Blocking on a drained
+     * input throws closed_port_exception, which the scheduler treats as
+     * completion — kernels need no explicit end-of-stream logic.
+     *
+     * Contract for the cooperative pool scheduler: one invocation should
+     * consume at most one element per input port and produce at most one
+     * per output port (all standard kernels obey this; the default
+     * thread-per-kernel scheduler imposes no such limit).
+     */
+    virtual kstatus run() = 0;
+
+    /** @name replication (automatic parallelization, §4.1) */
+    ///@{
+    virtual bool clone_supported() const { return false; }
+    /** Fresh kernel equivalent to this one; nullptr if not clonable. */
+    virtual kernel *clone() const { return nullptr; }
+    ///@}
+
+    /**
+     * Pool-scheduler readiness hint: true when one run() invocation can
+     * make progress without indefinite blocking. Default: every input port
+     * has at least one element (or is drained, so run() terminates
+     * immediately) and every output port has space.
+     */
+    virtual bool ready() const;
+
+    /** @name ports */
+    ///@{
+    port_container input{ port_dir::in };
+    port_container output{ port_dir::out };
+    ///@}
+
+    /** @name identity & runtime wiring */
+    ///@{
+    std::size_t get_id() const noexcept { return id_; }
+
+    /** Diagnostic name: explicit hint or the demangled dynamic type. */
+    std::string name() const;
+    void set_name( std::string n ) { name_hint_ = std::move( n ); }
+
+    /** Asynchronous signal bus of the running application (may be null
+     *  outside exe()); see signal.hpp. */
+    async_signal_bus *bus() const noexcept { return bus_; }
+    void set_bus( async_signal_bus *b ) noexcept { bus_ = b; }
+    ///@}
+
+    /**
+     * Factory used throughout the paper's examples:
+     * `kernel::make< sum< a,b,c > >()`. Kernels created this way are
+     * adopted (and eventually deleted) by the map they are linked into.
+     */
+    template <class K, class... Args> static K *make( Args &&...args )
+    {
+        auto *k = new K( std::forward<Args>( args )... );
+        static_cast<kernel *>( k )->internal_alloc_ = true;
+        return k;
+    }
+
+    bool internally_allocated() const noexcept { return internal_alloc_; }
+
+private:
+    std::size_t id_;
+    std::string name_hint_;
+    bool internal_alloc_{ false };
+    async_signal_bus *bus_{ nullptr };
+};
+
+/** Returned by map::link (Figure 3): references to the two kernels joined
+ *  by the call, "so that they may be referenced in subsequent link calls." */
+struct kernel_pair
+{
+    kernel &src;
+    kernel &dst;
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,65 @@
+/**
+ * for_each.hpp — zero-copy array source (Figure 6).
+ *
+ * "The for_each takes a pointer value and uses its memory space directly as
+ * a queue for downstream compute kernels... essentially a zero copy...
+ * Unlike the C++ standard library for_each, the RaftLib version provides an
+ * index to indicate position within the array... When this kernel is
+ * executed, it appears as a kernel only momentarily, essentially providing
+ * a data source for the downstream compute kernels to read."
+ *
+ * The kernel emits raft::range<T> descriptors — pointer, length, start
+ * index — dividing the array into segments; downstream kernels read the
+ * user's memory in place. Descriptor granularity is configurable; with
+ * automatic parallelization the split adapter deals descriptors (16 bytes
+ * each) to replicas while the payload never moves.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "core/kernel.hpp"
+#include "core/kernels/segment.hpp"
+
+namespace raft {
+
+template <class T> class for_each : public kernel
+{
+public:
+    for_each( const T *data, const std::size_t length,
+              const std::size_t segment_elems = 4096 )
+        : kernel(), data_( data ), length_( length ),
+          segment_( segment_elems == 0 ? 1 : segment_elems )
+    {
+        output.addPort<range<T>>( "0" );
+    }
+
+    kstatus run() override
+    {
+        if( cursor_ >= length_ )
+        {
+            return raft::stop;
+        }
+        const auto n =
+            std::min( segment_, length_ - cursor_ );
+        auto out  = output[ "0" ].template allocate_s<range<T>>();
+        out->data   = data_ + cursor_;
+        out->len    = n;
+        out->offset = cursor_;
+        cursor_ += n;
+        if( cursor_ >= length_ )
+        {
+            out.set_signal( raft::eos );
+            return raft::stop;
+        }
+        return raft::proceed;
+    }
+
+private:
+    const T *data_;
+    std::size_t length_;
+    std::size_t segment_;
+    std::size_t cursor_{ 0 };
+};
+
+} /** end namespace raft **/

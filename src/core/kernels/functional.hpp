@@ -1,0 +1,244 @@
+/**
+ * functional.hpp — functional-style standard kernels.
+ *
+ * The paper positions RaftLib as "interfaces similar to those found in
+ * the C++ standard library" (§6) so users compose pipelines the way they
+ * compose algorithms. These kernels round out the library:
+ *
+ *  - transform<A,B> : per-element function application (std::transform)
+ *  - filter<T>      : predicate selection (std::copy_if) — the
+ *                     data-dependent-rate behaviour §3 discusses
+ *  - tee<T>         : duplicate a stream to N consumers
+ *  - merge<T>       : combine N streams into one (arrival order)
+ *  - batch<T> / unbatch<T> : group elements into vectors and back,
+ *                     amortizing per-element costs over coarse links
+ *
+ * transform and filter are clonable when constructed from copyable
+ * callables, so raft::out links replicate them automatically.
+ */
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/kernel.hpp"
+
+namespace raft {
+
+/** Apply fn to every element: one in ("0"), one out ("0"). */
+template <class A, class B = A> class transform : public kernel
+{
+public:
+    using fn_t = std::function<B( const A & )>;
+
+    explicit transform( fn_t fn ) : kernel(), fn_( std::move( fn ) )
+    {
+        input.addPort<A>( "0" );
+        output.addPort<B>( "0" );
+    }
+
+    kstatus run() override
+    {
+        auto v   = input[ "0" ].template pop_s<A>();
+        auto out = output[ "0" ].template allocate_s<B>();
+        ( *out ) = fn_( *v );
+        return raft::proceed;
+    }
+
+    bool clone_supported() const override { return true; }
+    kernel *clone() const override { return new transform( fn_ ); }
+
+private:
+    fn_t fn_;
+};
+
+/** Forward elements satisfying pred; drop the rest (§3's dynamic
+ *  downstream volume). */
+template <class T> class filter : public kernel
+{
+public:
+    using pred_t = std::function<bool( const T & )>;
+
+    explicit filter( pred_t pred )
+        : kernel(), pred_( std::move( pred ) )
+    {
+        input.addPort<T>( "0" );
+        output.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        auto v = input[ "0" ].template pop_s<T>();
+        if( pred_( *v ) )
+        {
+            output[ "0" ].push<T>( *v );
+        }
+        return raft::proceed;
+    }
+
+    bool clone_supported() const override { return true; }
+    kernel *clone() const override { return new filter( pred_ ); }
+
+private:
+    pred_t pred_;
+};
+
+/** Duplicate every element to `width` output streams ("0".."w-1"). */
+template <class T> class tee : public kernel
+{
+public:
+    explicit tee( const std::size_t width ) : kernel(), width_( width )
+    {
+        input.addPort<T>( "0" );
+        for( std::size_t i = 0; i < width_; ++i )
+        {
+            output.addPort<T>( std::to_string( i ) );
+        }
+    }
+
+    kstatus run() override
+    {
+        auto v = input[ "0" ].template pop_s<T>();
+        for( std::size_t i = 0; i < width_; ++i )
+        {
+            output[ std::to_string( i ) ].push<T>( *v );
+        }
+        return raft::proceed;
+    }
+
+private:
+    std::size_t width_;
+};
+
+/** Combine `width` input streams ("0".."w-1") into one, in arrival
+ *  order; completes when every input drains. */
+template <class T> class merge : public kernel
+{
+public:
+    explicit merge( const std::size_t width )
+        : kernel(), width_( width )
+    {
+        for( std::size_t i = 0; i < width_; ++i )
+        {
+            input.addPort<T>( std::to_string( i ) );
+        }
+        output.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        bool moved       = false;
+        bool all_drained = true;
+        for( std::size_t i = 0; i < width_; ++i )
+        {
+            auto &p = input[ std::to_string( i ) ];
+            T v{};
+            if( p.template typed<T>().try_pop( v ) )
+            {
+                output[ "0" ].push<T>( std::move( v ) );
+                moved = true;
+            }
+            all_drained = all_drained && p.drained();
+        }
+        if( moved )
+        {
+            idle_.reset();
+            return raft::proceed;
+        }
+        if( all_drained )
+        {
+            return raft::stop;
+        }
+        idle_.pause();
+        return raft::proceed;
+    }
+
+    bool ready() const override
+    {
+        auto *self = const_cast<merge *>( this );
+        for( std::size_t i = 0; i < width_; ++i )
+        {
+            const auto &p = self->input[ std::to_string( i ) ];
+            if( p.size() > 0 || p.drained() )
+            {
+                return true;
+            }
+        }
+        return false;
+    }
+
+private:
+    std::size_t width_;
+    detail::backoff idle_;
+};
+
+/** Group `size` consecutive elements into a std::vector<T>; the final
+ *  partial group is flushed at end of stream. */
+template <class T> class batch : public kernel
+{
+public:
+    explicit batch( const std::size_t size )
+        : kernel(), size_( size == 0 ? 1 : size )
+    {
+        input.addPort<T>( "0" );
+        output.addPort<std::vector<T>>( "0" );
+        pending_.reserve( size_ );
+    }
+
+    kstatus run() override
+    {
+        T v{};
+        try
+        {
+            input[ "0" ].template pop<T>( v );
+        }
+        catch( const closed_port_exception & )
+        {
+            if( !pending_.empty() )
+            {
+                output[ "0" ].push<std::vector<T>>(
+                    std::move( pending_ ) );
+                pending_ = {};
+            }
+            throw;
+        }
+        pending_.push_back( std::move( v ) );
+        if( pending_.size() >= size_ )
+        {
+            output[ "0" ].push<std::vector<T>>( std::move( pending_ ) );
+            pending_ = {};
+            pending_.reserve( size_ );
+        }
+        return raft::proceed;
+    }
+
+private:
+    std::size_t size_;
+    std::vector<T> pending_;
+};
+
+/** Flatten a std::vector<T> stream back into elements. */
+template <class T> class unbatch : public kernel
+{
+public:
+    unbatch() : kernel()
+    {
+        input.addPort<std::vector<T>>( "0" );
+        output.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        auto group = input[ "0" ].template pop_s<std::vector<T>>();
+        for( auto &v : *group )
+        {
+            output[ "0" ].push<T>( std::move( v ) );
+        }
+        return raft::proceed;
+    }
+
+private:
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,147 @@
+/**
+ * lambdak.hpp — lambda compute kernels (§4.2, Figure 7).
+ *
+ * "RaftLib brings lambda compute kernels, which give the user the ability
+ * to declare a fully functional, independent kernel while freeing him/her
+ * from the cruft that would normally accompany such a declaration."
+ *
+ *   kernel::make< lambdak< std::uint32_t > >( 0, 1,
+ *       []( raft::Port &input, raft::Port &output ) { ... } );
+ *
+ * "If a single type is provided as a template parameter, then all ports
+ * for this lambda kernel are assumed to have this type. If more than one
+ * template parameter is used, then the number of types must match the
+ * number of ports given by the first and second function parameters...
+ * Ports are named sequentially starting with zero."
+ *
+ * Two callable shapes are accepted: returning raft::kstatus (full control)
+ * or void (always proceeds; termination comes from upstream end-of-stream).
+ * As the paper cautions, capture by value for kernels that may be
+ * duplicated or distributed.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <type_traits>
+
+#include "core/exceptions.hpp"
+#include "core/kernel.hpp"
+
+namespace raft {
+
+template <class... Ts> class lambdak : public kernel
+{
+    static_assert( sizeof...( Ts ) >= 1,
+                   "lambdak needs at least one port type" );
+
+public:
+    using func_t = std::function<kstatus( Port &, Port & )>;
+
+    template <class F>
+    lambdak( const std::size_t n_input, const std::size_t n_output, F fn )
+        : kernel(), n_input_( n_input ), n_output_( n_output )
+    {
+        declare_ports();
+        if constexpr( std::is_convertible_v<
+                          std::invoke_result_t<F, Port &, Port &>,
+                          kstatus> )
+        {
+            fn_ = func_t( std::move( fn ) );
+        }
+        else
+        {
+            fn_ = [ f = std::move( fn ) ]( Port &in, Port &out ) {
+                f( in, out );
+                return raft::proceed;
+            };
+        }
+    }
+
+    kstatus run() override { return fn_( input, output ); }
+
+    bool clone_supported() const override { return clonable_; }
+
+    kernel *clone() const override
+    {
+        if( !clonable_ )
+        {
+            return nullptr;
+        }
+        auto *k = new lambdak<Ts...>( *this, private_tag{} );
+        return k;
+    }
+
+    /** Opt this lambda kernel into automatic replication. Only do so when
+     *  the callable is stateless or captures by value (§4.2's caveat about
+     *  by-reference captures under duplication). */
+    lambdak &set_clonable( const bool v = true )
+    {
+        clonable_ = v;
+        return *this;
+    }
+
+private:
+    struct private_tag
+    {
+    };
+
+    lambdak( const lambdak &other, private_tag )
+        : kernel(), n_input_( other.n_input_ ),
+          n_output_( other.n_output_ ), fn_( other.fn_ ),
+          clonable_( other.clonable_ )
+    {
+        declare_ports();
+    }
+
+    void declare_ports()
+    {
+        constexpr std::size_t n_types = sizeof...( Ts );
+        if( n_types != 1 && n_types != 0 &&
+            n_types != n_input_ + n_output_ )
+        {
+            throw port_exception(
+                "lambdak: number of template types must be 1 or equal "
+                "the total port count" );
+        }
+        std::size_t slot = 0;
+        if constexpr( n_types == 1 )
+        {
+            using T = std::tuple_element_t<0, std::tuple<Ts...>>;
+            for( std::size_t i = 0; i < n_input_; ++i )
+            {
+                input.addPort<T>( std::to_string( i ) );
+            }
+            for( std::size_t i = 0; i < n_output_; ++i )
+            {
+                output.addPort<T>( std::to_string( i ) );
+            }
+            (void) slot;
+        }
+        else
+        {
+            /** one type per port, inputs first, then outputs **/
+            const auto add = [ & ]( auto type_tag ) {
+                using T = typename decltype( type_tag )::type;
+                if( slot < n_input_ )
+                {
+                    input.addPort<T>( std::to_string( slot ) );
+                }
+                else
+                {
+                    output.addPort<T>(
+                        std::to_string( slot - n_input_ ) );
+                }
+                ++slot;
+            };
+            ( add( std::type_identity<Ts>{} ), ... );
+        }
+    }
+
+    std::size_t n_input_;
+    std::size_t n_output_;
+    func_t fn_;
+    bool clonable_{ false };
+};
+
+} /** end namespace raft **/

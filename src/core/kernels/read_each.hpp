@@ -1,0 +1,52 @@
+/**
+ * read_each.hpp — stream the contents of any C++ iterator range into the
+ * graph (Figure 5: "syntax for reading and writing to C++ standard library
+ * containers from raft::kernel objects"). The iterator pair is type-erased
+ * so one kernel type serves every container.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/kernel.hpp"
+
+namespace raft {
+
+template <class T> class read_each : public kernel
+{
+public:
+    template <class It>
+    read_each( It begin, It end ) : kernel()
+    {
+        output.addPort<T>( "0" );
+        auto cursor = std::make_shared<It>( begin );
+        auto last   = std::make_shared<It>( end );
+        next_       = [ cursor, last ]() -> std::optional<T> {
+            if( *cursor == *last )
+            {
+                return std::nullopt;
+            }
+            T v = **cursor;
+            ++( *cursor );
+            return v;
+        };
+    }
+
+    kstatus run() override
+    {
+        auto v = next_();
+        if( !v.has_value() )
+        {
+            return raft::stop;
+        }
+        output[ "0" ].push<T>( std::move( *v ) );
+        return raft::proceed;
+    }
+
+private:
+    std::function<std::optional<T>()> next_;
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,44 @@
+/**
+ * segment.hpp — zero-copy stream descriptors.
+ *
+ * Large inputs (a memory-resident file, a user array) do not travel through
+ * the ring buffers element by element; instead lightweight descriptors
+ * pointing into the shared immutable buffer do. This is how "the file is
+ * directly read into the in-bound queues of each match kernel" (§5) and how
+ * for_each "takes a pointer value and uses its memory space directly as a
+ * queue for downstream compute kernels" (§4.2) without extraneous data
+ * movement.
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace raft {
+
+/**
+ * A window into a shared immutable byte buffer.
+ *
+ * `len` covers body + overlap: segments handed to string-search kernels
+ * carry `overlap` extra bytes past the body so matches straddling a
+ * segment boundary are found exactly once — a match is attributed to the
+ * segment in whose body (first `body_len` bytes) it starts.
+ */
+struct mem_range
+{
+    const char *data{ nullptr };
+    std::size_t len{ 0 };      /**< readable bytes at data              */
+    std::size_t body_len{ 0 }; /**< bytes owned by this segment         */
+    std::size_t offset{ 0 };   /**< global offset of data[0]            */
+};
+
+/** Typed variant for element arrays (for_each). */
+template <class T> struct range
+{
+    const T *data{ nullptr };
+    std::size_t len{ 0 };    /**< elements                              */
+    std::size_t offset{ 0 }; /**< index of data[0] in the source array —
+                                  "provides an index to indicate position
+                                  within the array" (§4.2) */
+};
+
+} /** end namespace raft **/

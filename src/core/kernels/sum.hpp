@@ -1,0 +1,32 @@
+/**
+ * sum.hpp — the paper's running example, verbatim API (Figure 2): pop one
+ * element from each of two typed input streams, add, push on the "sum"
+ * output stream. Demonstrates the pop_s / allocate_s RAII accessors.
+ */
+#pragma once
+
+#include "core/kernel.hpp"
+
+namespace raft {
+
+template <typename A, typename B, typename C> class sum : public kernel
+{
+public:
+    sum() : kernel()
+    {
+        input.addPort<A>( "input_a" );
+        input.addPort<B>( "input_b" );
+        output.addPort<C>( "sum" );
+    }
+
+    virtual kstatus run()
+    {
+        auto a( input[ "input_a" ].pop_s<A>() );
+        auto b( input[ "input_b" ].pop_s<B>() );
+        auto c( output[ "sum" ].allocate_s<C>() );
+        ( *c ) = static_cast<C>( ( *a ) + ( *b ) );
+        return ( raft::proceed );
+    }
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,40 @@
+/**
+ * write_each.hpp — drain a stream into any C++ output iterator (Figure 5 /
+ * Figure 9: `write_each< match_t >( std::back_inserter( total_hits ) )`).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/kernel.hpp"
+
+namespace raft {
+
+template <class T> class write_each : public kernel
+{
+public:
+    template <class OutIt>
+    explicit write_each( OutIt out ) : kernel()
+    {
+        input.addPort<T>( "0" );
+        auto cursor = std::make_shared<OutIt>( out );
+        sink_       = [ cursor ]( T &&v ) {
+            **cursor = std::move( v );
+            ++( *cursor );
+        };
+    }
+
+    kstatus run() override
+    {
+        T v{};
+        input[ "0" ].pop<T>( v );
+        sink_( std::move( v ) );
+        return raft::proceed;
+    }
+
+private:
+    std::function<void( T && )> sink_;
+};
+
+} /** end namespace raft **/

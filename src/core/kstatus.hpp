@@ -1,0 +1,24 @@
+/**
+ * kstatus.hpp — return status of a compute kernel's run() function, exactly
+ * as used in the paper (Figure 2): `return( raft::proceed );`.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace raft {
+
+/**
+ * Status a kernel reports after one run() invocation.
+ *  - proceed: the kernel wants to be scheduled again.
+ *  - stop:    the kernel is finished (e.g., a source exhausted its input);
+ *             the runtime closes its output streams so end-of-stream
+ *             propagates downstream.
+ */
+enum kstatus : std::uint8_t
+{
+    proceed = 0,
+    stop    = 1
+};
+
+} /** end namespace raft **/

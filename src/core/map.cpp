@@ -1,0 +1,231 @@
+#include "core/map.hpp"
+
+#include <chrono>
+
+#include "core/exceptions.hpp"
+#include "core/fifo.hpp"
+#include "core/monitor.hpp"
+#include "core/parallel.hpp"
+#include "core/scheduler.hpp"
+#include "mapping/partition.hpp"
+
+namespace raft {
+
+void map::adopt( kernel *k )
+{
+    if( !k->internally_allocated() )
+    {
+        return;
+    }
+    for( const auto &o : owned_ )
+    {
+        if( o.get() == k )
+        {
+            return;
+        }
+    }
+    owned_.emplace_back( k );
+}
+
+std::string map::resolve_port( kernel *k, port_container &ports,
+                               const std::string &requested,
+                               const char *side )
+{
+    if( !requested.empty() )
+    {
+        return requested;
+    }
+    std::string found;
+    for( auto &p : ports )
+    {
+        if( !p.linked() )
+        {
+            if( !found.empty() )
+            {
+                throw port_exception(
+                    "kernel " + k->name() + " has multiple unlinked " +
+                    side + " ports; name one explicitly" );
+            }
+            found = p.name();
+        }
+    }
+    if( found.empty() )
+    {
+        throw port_exception( "kernel " + k->name() +
+                              " has no unlinked " + side + " port" );
+    }
+    return found;
+}
+
+kernel_pair map::link_impl( kernel *src, const std::string &src_port,
+                            kernel *dst, const std::string &dst_port,
+                            const order ord )
+{
+    if( src == nullptr || dst == nullptr )
+    {
+        throw graph_exception( "link() given a null kernel" );
+    }
+    const auto sp = resolve_port( src, src->output, src_port, "output" );
+    const auto dp = resolve_port( dst, dst->input, dst_port, "input" );
+    port &out_p = src->output[ sp ];
+    port &in_p  = dst->input[ dp ];
+    if( out_p.linked() )
+    {
+        throw port_exception( "output port '" + sp + "' of " +
+                              src->name() + " already linked" );
+    }
+    if( in_p.linked() )
+    {
+        throw port_exception( "input port '" + dp + "' of " +
+                              dst->name() + " already linked" );
+    }
+    out_p.mark_linked();
+    in_p.mark_linked();
+    adopt( src );
+    adopt( dst );
+    topo_.add_edge( edge{ src, sp, dst, dp, ord } );
+    return kernel_pair{ *src, *dst };
+}
+
+void map::exe( const run_options &opts )
+{
+    if( executed_ )
+    {
+        throw graph_exception(
+            "map::exe() called twice — assemble a fresh map per run" );
+    }
+    if( topo_.empty() )
+    {
+        throw graph_exception( "map::exe() on an empty map" );
+    }
+    executed_ = true;
+
+    /** 1. connectivity **/
+    if( !topo_.connected() )
+    {
+        throw graph_exception(
+            "application graph is not fully connected" );
+    }
+
+    const auto machine =
+        opts.machine != nullptr ? *opts.machine
+                                : mapping::machine_desc::detect();
+
+    /** 2. automatic parallelization **/
+    if( opts.enable_auto_parallel )
+    {
+        const auto width = opts.replication_width != 0
+                               ? opts.replication_width
+                               : machine.core_count();
+        apply_auto_parallel( topo_, width, opts.split_strategy, owned_ );
+    }
+
+    /** 3. type checking + conversion adapters **/
+    apply_type_conversions( topo_, owned_ );
+
+    /** every declared port must now be part of some stream **/
+    for( kernel *k : topo_.kernels() )
+    {
+        for( const auto &e : topo_.edges() )
+        {
+            if( e.src == k )
+            {
+                k->output[ e.src_port ].mark_linked();
+            }
+            if( e.dst == k )
+            {
+                k->input[ e.dst_port ].mark_linked();
+            }
+        }
+        for( auto &p : k->input )
+        {
+            if( !p.linked() )
+            {
+                throw graph_exception( "input port '" + p.name() +
+                                       "' of " + k->name() +
+                                       " is not linked" );
+            }
+        }
+        for( auto &p : k->output )
+        {
+            if( !p.linked() )
+            {
+                throw graph_exception( "output port '" + p.name() +
+                                       "' of " + k->name() +
+                                       " is not linked" );
+            }
+        }
+    }
+
+    /** 4. stream allocation & port binding **/
+    std::vector<std::unique_ptr<fifo_base>> streams;
+    streams.reserve( topo_.edges().size() );
+    monitor mon( opts );
+    for( auto &e : topo_.edges() )
+    {
+        port &out_p = e.src->output[ e.src_port ];
+        port &in_p  = e.dst->input[ e.dst_port ];
+        auto stream =
+            out_p.meta().make_fifo( opts.initial_queue_capacity );
+        out_p.bind( stream.get() );
+        in_p.bind( stream.get() );
+        mon.register_stream(
+            stream.get(),
+            monitor::stream_info{ e.src->name(), e.dst->name(),
+                                  e.src_port, e.dst_port,
+                                  out_p.meta().name } );
+        streams.push_back( std::move( stream ) );
+    }
+
+    /** 5. mapping **/
+    const auto assign = mapping::partition( topo_, machine );
+
+    /** async signal bus **/
+    async_signal_bus bus;
+    for( kernel *k : topo_.kernels() )
+    {
+        k->set_bus( &bus );
+    }
+
+    /** 6. run **/
+    mon.start();
+    const auto t0  = std::chrono::steady_clock::now();
+    auto scheduler = make_scheduler( opts.scheduler );
+    std::exception_ptr run_error;
+    try
+    {
+        scheduler->execute( topo_.kernels(), opts, &assign, machine );
+    }
+    catch( ... )
+    {
+        run_error = std::current_exception();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    mon.stop();
+
+    /** 7. statistics & teardown **/
+    if( opts.stats_out != nullptr )
+    {
+        const double wall =
+            std::chrono::duration<double>( t1 - t0 ).count();
+        mon.collect( *opts.stats_out, wall );
+    }
+    for( kernel *k : topo_.kernels() )
+    {
+        k->set_bus( nullptr );
+        for( auto &p : k->input )
+        {
+            p.unbind();
+        }
+        for( auto &p : k->output )
+        {
+            p.unbind();
+        }
+    }
+    if( run_error )
+    {
+        std::rethrow_exception( run_error );
+    }
+}
+
+} /** end namespace raft **/

@@ -1,0 +1,177 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+#include "core/defs.hpp"
+
+namespace raft {
+
+monitor::monitor( const run_options &opts ) : opts_( opts )
+{
+    delta_ns_ = std::max<std::int64_t>( 1, opts.monitor_delta.count() );
+}
+
+monitor::~monitor() { stop(); }
+
+void monitor::register_stream( fifo_base *f, stream_info info )
+{
+    entry e;
+    e.f                = f;
+    e.info             = std::move( info );
+    e.initial_capacity = f->capacity();
+    entries_.push_back( std::move( e ) );
+    f->set_auto_resize( opts_.dynamic_resize );
+}
+
+void monitor::start()
+{
+    if( running_.exchange( true ) )
+    {
+        return;
+    }
+    if( !opts_.dynamic_resize && !opts_.collect_stats )
+    {
+        running_.store( false );
+        return; /** nothing to do — zero overhead **/
+    }
+    thread_ = std::thread( [ this ]() { loop(); } );
+}
+
+void monitor::stop()
+{
+    if( !running_.exchange( false ) )
+    {
+        return;
+    }
+    if( thread_.joinable() )
+    {
+        thread_.join();
+    }
+}
+
+void monitor::loop()
+{
+    while( running_.load( std::memory_order_acquire ) )
+    {
+        tick();
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds( delta_ns_ ) );
+    }
+    /** final sample so short runs still record statistics **/
+    tick();
+}
+
+void monitor::tick()
+{
+    const auto now = detail::now_ns();
+    ticks_.fetch_add( 1, std::memory_order_relaxed );
+    for( auto &e : entries_ )
+    {
+        fifo_base &f   = *e.f;
+        const auto sz  = f.size();
+        const auto cap = f.capacity();
+
+        if( opts_.collect_stats )
+        {
+            const double util =
+                cap == 0 ? 0.0
+                         : static_cast<double>( sz ) /
+                               static_cast<double>( cap );
+            e.occupancy_sum += static_cast<double>( sz );
+            e.utilization_sum += util;
+            e.hist.add( util );
+            ++e.samples;
+        }
+
+        if( !opts_.dynamic_resize )
+        {
+            continue;
+        }
+
+        /**
+         * Rule 1 (read side): the reader demanded a window larger than
+         * capacity. Correctness-critical — "the program cannot continue"
+         * otherwise — so it overrides max_queue_capacity.
+         */
+        const auto req = f.resize_request();
+        if( req > cap )
+        {
+            f.resize( req );
+            continue;
+        }
+
+        /**
+         * Rule 2 (write side): writer blocked ≥ 3δ on a full queue — grow
+         * geometrically up to the configured cap.
+         */
+        const auto wbs = f.write_blocked_since();
+        if( wbs != 0 && now - wbs >= 3 * delta_ns_ &&
+            cap < opts_.max_queue_capacity && f.space_avail() == 0 )
+        {
+            f.resize( std::min( cap * 2, opts_.max_queue_capacity ) );
+            e.low_util_streak = 0;
+            continue;
+        }
+
+        /**
+         * Shrink heuristic (optional): sustained low utilization returns
+         * memory ("reallocates them as needed (either larger or smaller)",
+         * §4.2). Hysteresis avoids grow/shrink oscillation.
+         */
+        if( opts_.allow_shrink && cap > e.initial_capacity &&
+            sz <= cap / 8 )
+        {
+            if( ++e.low_util_streak >= opts_.shrink_hysteresis )
+            {
+                f.resize( cap / 2 );
+                e.low_util_streak = 0;
+            }
+        }
+        else
+        {
+            e.low_util_streak = 0;
+        }
+    }
+}
+
+void monitor::collect( runtime::perf_snapshot &out, const double wall ) const
+{
+    out.streams.clear();
+    out.wall_seconds  = wall;
+    out.monitor_ticks = ticks_.load( std::memory_order_relaxed );
+    for( const auto &e : entries_ )
+    {
+        runtime::stream_stats s;
+        s.src_kernel       = e.info.src_kernel;
+        s.dst_kernel       = e.info.dst_kernel;
+        s.src_port         = e.info.src_port;
+        s.dst_port         = e.info.dst_port;
+        s.type_name        = e.info.type_name;
+        s.pushed           = e.f->total_pushed();
+        s.popped           = e.f->total_popped();
+        s.element_size     = e.f->element_size();
+        s.initial_capacity = e.initial_capacity;
+        s.final_capacity   = e.f->capacity();
+        s.resize_count     = e.f->resize_count();
+        s.samples          = e.samples;
+        if( e.samples > 0 )
+        {
+            s.mean_occupancy =
+                e.occupancy_sum / static_cast<double>( e.samples );
+            s.mean_utilization =
+                e.utilization_sum / static_cast<double>( e.samples );
+        }
+        s.occupancy = e.hist;
+        if( wall > 0.0 )
+        {
+            s.service_rate_hz = static_cast<double>( s.popped ) / wall;
+            s.arrival_rate_hz = static_cast<double>( s.pushed ) / wall;
+            s.throughput_bytes_per_s =
+                static_cast<double>( s.popped ) *
+                static_cast<double>( s.element_size ) / wall;
+        }
+        out.streams.push_back( std::move( s ) );
+    }
+}
+
+} /** end namespace raft **/

@@ -1,0 +1,92 @@
+/**
+ * monitor.hpp — the dynamic queue monitor (§3/§4).
+ *
+ * "RaftLib deals with this by detecting this condition with a monitoring
+ * thread, updated every δ ← 10 µs. When conditions dictate that the FIFO
+ * needs to be resized, it is done using lock-free exclusion and only under
+ * certain conditions... On the side writing to the queue, if the write
+ * process is blocked for a time period of 3 × δ then the queue is resized.
+ * On the read side, if the reading compute kernel requests more items than
+ * the queue has available then the queue is tagged for resizing."
+ *
+ * Beyond resizing, the same thread performs the low-overhead statistics
+ * sampling (§4.1): per tick and stream, one occupancy load and one
+ * histogram increment.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fifo.hpp"
+#include "core/options.hpp"
+#include "runtime/stats.hpp"
+
+namespace raft {
+
+class monitor
+{
+public:
+    /** Static identity of one stream, captured at registration. */
+    struct stream_info
+    {
+        std::string src_kernel;
+        std::string dst_kernel;
+        std::string src_port;
+        std::string dst_port;
+        std::string type_name;
+    };
+
+    explicit monitor( const run_options &opts );
+    ~monitor();
+
+    monitor( const monitor & )            = delete;
+    monitor &operator=( const monitor & ) = delete;
+
+    /** Register before start(); enables reader-overflow growth on f when
+     *  dynamic resizing is configured. */
+    void register_stream( fifo_base *f, stream_info info );
+
+    void start();
+    void stop();
+
+    /** Fill `out` with the run's statistics; call after stop(). `wall`
+     *  is the measured execution time in seconds. */
+    void collect( runtime::perf_snapshot &out, double wall ) const;
+
+    std::uint64_t ticks() const noexcept
+    {
+        return ticks_.load( std::memory_order_relaxed );
+    }
+
+    /** One sampling pass over every stream (exposed for tests). */
+    void tick();
+
+private:
+    struct entry
+    {
+        fifo_base *f{ nullptr };
+        stream_info info;
+        std::size_t initial_capacity{ 0 };
+        /** accumulators (monitor-thread private while running) **/
+        double occupancy_sum{ 0.0 };
+        double utilization_sum{ 0.0 };
+        std::uint64_t samples{ 0 };
+        runtime::occupancy_histogram hist;
+        std::size_t low_util_streak{ 0 };
+    };
+
+    void loop();
+
+    run_options opts_;
+    std::vector<entry> entries_;
+    std::thread thread_;
+    std::atomic<bool> running_{ false };
+    std::atomic<std::uint64_t> ticks_{ 0 };
+    std::int64_t delta_ns_{ 10'000 };
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,82 @@
+/**
+ * options.hpp — run_options: every runtime-settable knob of map::exe().
+ *
+ * "RaftLib supports continuous optimization of a host of run-time settable
+ * parameters" (§4); these are the static entry points. Defaults reproduce
+ * the paper's description: thread-per-kernel scheduling on the OS scheduler,
+ * a 10 µs monitor δ, dynamic queue resizing enabled, automatic
+ * parallelization of clonable kernels with the least-utilized split
+ * strategy.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "mapping/machine.hpp"
+#include "runtime/stats.hpp"
+
+namespace raft {
+
+enum class scheduler_kind
+{
+    thread_per_kernel, /**< default: one OS thread per kernel (§4.1)     */
+    pool               /**< cooperative worker pool (research alternate) */
+};
+
+enum class split_kind
+{
+    round_robin,
+    least_utilized /**< "queue utilization used to direct data flow to
+                        less utilized servers" (§4.1) */
+};
+
+struct run_options
+{
+    /** @name stream allocation */
+    ///@{
+    std::size_t initial_queue_capacity{ 64 };     /**< items              */
+    std::size_t max_queue_capacity{ 1u << 20 };   /**< growth cap (items) */
+    ///@}
+
+    /** @name dynamic optimization (monitor thread) */
+    ///@{
+    bool dynamic_resize{ true };
+    std::chrono::nanoseconds monitor_delta{
+        std::chrono::microseconds( 10 ) }; /**< the paper's δ            */
+    /** Consecutive low-utilization windows before a shrink is attempted. */
+    std::size_t shrink_hysteresis{ 64 };
+    bool allow_shrink{ false };
+    ///@}
+
+    /** @name scheduling & mapping */
+    ///@{
+    scheduler_kind scheduler{ scheduler_kind::thread_per_kernel };
+    std::size_t pool_threads{ 0 };  /**< 0 = hardware_concurrency          */
+    /** Pool scheduler: consecutive run() invocations per dispatch while
+     *  the kernel stays ready. Larger batches keep a kernel's working
+     *  set cache-hot (the cache-conscious scheduling direction the paper
+     *  anticipates via Agrawal et al. [3]). */
+    std::size_t pool_batch_size{ 1 };
+    const mapping::machine_desc *machine{ nullptr }; /**< null = detect   */
+    bool pin_threads{ false };      /**< pin kernels per mapper decision   */
+    ///@}
+
+    /** @name automatic parallelization (§4.1) */
+    ///@{
+    bool enable_auto_parallel{ true };
+    /** Replicas per clonable kernel; 0 = one per available core. */
+    std::size_t replication_width{ 0 };
+    split_kind split_strategy{ split_kind::least_utilized };
+    ///@}
+
+    /** @name monitoring */
+    ///@{
+    bool collect_stats{ true };
+    /** Filled with the run's statistics at teardown when non-null. */
+    runtime::perf_snapshot *stats_out{ nullptr };
+    ///@}
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,129 @@
+/**
+ * parallel.hpp — automatic parallelization (§4.1).
+ *
+ * "Automatic parallelization of candidate kernels is accomplished by
+ * analyzing the graph for segments that can be replicated preserving the
+ * application's semantics (indicated by the user at link time with template
+ * parameters). There are default split and reduce adapters that are
+ * inserted where needed. Custom split reduce objects can be created by the
+ * user by extending the default split / reduce objects."
+ *
+ * A kernel is a replication candidate when it supports clone() and every
+ * stream touching it was linked with raft::out. The rewrite replaces
+ *
+ *        u ──> k ──> v        with        u ─> split ─> k₀..k_{W-1} ─> reduce ─> v
+ *
+ * for W replicas. Both adapters are type-erased: they move elements between
+ * same-typed streams through fifo_base::try_transfer_to, so one
+ * implementation serves every element type.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/defs.hpp"
+#include "core/graph.hpp"
+#include "core/kernel.hpp"
+#include "core/split_strategy.hpp"
+
+namespace raft {
+
+/**
+ * Default split adapter: one input, W outputs, distribution order decided
+ * by a split_strategy (round-robin / least-utilized / user-supplied).
+ * Extend and override route() for custom distribution.
+ */
+class split_kernel : public kernel
+{
+public:
+    split_kernel( const detail::type_meta &meta,
+                  const std::size_t width,
+                  std::unique_ptr<split_strategy> strategy );
+
+    kstatus run() override;
+    bool ready() const override;
+
+protected:
+    /** Move one element from `in` to one of `outs`; false when no output
+     *  could accept it. Override for custom split behaviour. */
+    virtual bool route( fifo_base &in, std::vector<fifo_base *> &outs );
+
+private:
+    std::vector<fifo_base *> &cached_outputs();
+
+    std::size_t width_;
+    std::unique_ptr<split_strategy> strategy_;
+    std::vector<fifo_base *> outs_cache_;
+    std::optional<std::size_t> pending_choice_;
+    detail::backoff idle_;
+};
+
+/**
+ * Default reduce adapter: W inputs, one output, draining inputs in
+ * round-robin scan order. Completes when every input stream has drained.
+ * Extend and override merge() for custom reduction.
+ */
+class reduce_kernel : public kernel
+{
+public:
+    reduce_kernel( const detail::type_meta &meta, std::size_t width );
+
+    kstatus run() override;
+    bool ready() const override;
+
+protected:
+    /** Move at most one element from some input to `out`; false when no
+     *  input had data. Override for custom merge behaviour. */
+    virtual bool merge( std::vector<fifo_base *> &ins, fifo_base &out );
+
+private:
+    std::vector<fifo_base *> &cached_inputs();
+
+    std::size_t width_;
+    std::size_t scan_{ 0 };
+    std::vector<fifo_base *> ins_cache_;
+    detail::backoff idle_;
+};
+
+/**
+ * Arithmetic type-conversion adapter, spliced in by the map's type checker
+ * when two linked ports carry different arithmetic types (§4.2: "the
+ * run-time selects the narrowest convertible type for each link type and
+ * casts the types at each endpoint"). Values are routed through double,
+ * which is exact for every integer of ≤ 53 bits magnitude and for float.
+ */
+class convert_kernel : public kernel
+{
+public:
+    convert_kernel( const detail::type_meta &in_meta,
+                    const detail::type_meta &out_meta );
+
+    kstatus run() override;
+
+private:
+    detail::backoff idle_;
+};
+
+/**
+ * Rewrite pass applied by map::exe() when run_options::enable_auto_parallel
+ * is set. `width` is the replica count (usually the core count). Newly
+ * created adapters and clones are appended to `owned` so the map can delete
+ * them at destruction. Returns the number of kernels replicated.
+ */
+std::size_t apply_auto_parallel(
+    topology &topo,
+    std::size_t width,
+    split_kind strategy,
+    std::vector<std::unique_ptr<kernel>> &owned );
+
+/**
+ * Type-check every edge; splice convert_kernel where both endpoint types
+ * are arithmetic but different; throw link_type_exception otherwise.
+ */
+void apply_type_conversions(
+    topology &topo,
+    std::vector<std::unique_ptr<kernel>> &owned );
+
+} /** end namespace raft **/

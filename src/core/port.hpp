@@ -1,0 +1,334 @@
+/**
+ * port.hpp — named, typed communication ports.
+ *
+ * Each kernel "communicates with the outside world through communications
+ * ports" (§4). The base kernel defines `input` and `output` port containers;
+ * a port is declared with `addPort<T>("name")` and accessed with
+ * `input["name"]` from inside run(). A port is essentially one end of a
+ * FIFO queue; the queue itself is allocated and bound by the runtime at
+ * map::exe() time, which is also when link types are checked.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/defs.hpp"
+#include "core/exceptions.hpp"
+#include "core/fifo.hpp"
+#include "core/ringbuffer.hpp"
+
+namespace raft {
+
+enum class port_dir : std::uint8_t
+{
+    in,
+    out
+};
+
+namespace detail {
+
+/**
+ * Everything the runtime needs to know about a port's element type without
+ * the static type: identity (for link type checking), size, arithmetic-ness
+ * (for conversion-adapter eligibility) and a factory for the default stream
+ * allocation (a ring_buffer<T> on the heap).
+ */
+struct type_meta
+{
+    std::type_index index{ typeid( void ) };
+    std::size_t size{ 0 };
+    bool arithmetic{ false };
+    std::unique_ptr<fifo_base> ( *make_fifo )( std::size_t ){ nullptr };
+    std::string name;
+
+    template <class T> static type_meta of()
+    {
+        type_meta m;
+        m.index      = std::type_index( typeid( T ) );
+        m.size       = sizeof( T );
+        m.arithmetic = std::is_arithmetic_v<T>;
+        m.make_fifo  = +[]( const std::size_t cap )
+            -> std::unique_ptr<fifo_base>
+        {
+            return std::make_unique<ring_buffer<T>>( cap );
+        };
+        m.name = demangle( typeid( T ) );
+        return m;
+    }
+};
+
+} /** end namespace detail **/
+
+/**
+ * One named endpoint of a stream. Typed accessors are checked at run time
+ * against the declared element type; a mismatch throws
+ * type_mismatch_exception ("accessing a port is safe", §4). All data-path
+ * methods delegate to the bound FIFO.
+ */
+class port
+{
+public:
+    port( std::string name, detail::type_meta meta, const port_dir dir )
+        : name_( std::move( name ) ), meta_( std::move( meta ) ),
+          dir_( dir )
+    {
+    }
+
+    port( const port & )            = delete;
+    port &operator=( const port & ) = delete;
+
+    /** @name identity */
+    ///@{
+    const std::string &name() const noexcept { return name_; }
+    port_dir direction() const noexcept { return dir_; }
+    const detail::type_meta &meta() const noexcept { return meta_; }
+    std::type_index type() const noexcept { return meta_.index; }
+    ///@}
+
+    /** @name runtime binding (set by map::exe) */
+    ///@{
+    bool linked() const noexcept { return linked_; }
+    void mark_linked() noexcept { linked_ = true; }
+    bool bound() const noexcept { return fifo_ != nullptr; }
+    void bind( fifo_base *f ) noexcept { fifo_ = f; }
+    void unbind() noexcept { fifo_ = nullptr; }
+
+    /** Bound stream, untyped (monitoring, adapters). */
+    fifo_base &raw()
+    {
+        ensure_bound();
+        return *fifo_;
+    }
+    ///@}
+
+    /** @name typed data access (Figure 2 style) */
+    ///@{
+    template <class T> T pop()
+    {
+        T out{};
+        typed<T>().pop( out );
+        return out;
+    }
+
+    template <class T> void pop( T &out, signal *sig = nullptr )
+    {
+        typed<T>().pop( out, sig );
+    }
+
+    template <class T> autorelease<T> pop_s() { return typed<T>().pop_s(); }
+
+    template <class T> void push( const T &value, const signal sig = none )
+    {
+        typed<T>().push( value, sig );
+    }
+
+    template <class T> void push( T &&value, const signal sig = none )
+    {
+        typed<T>().push( std::move( value ), sig );
+    }
+
+    template <class T> allocate_ref<T> allocate_s()
+    {
+        return typed<T>().allocate_s();
+    }
+
+    template <class T> const T &peek( signal *sig = nullptr )
+    {
+        return typed<T>().peek( sig );
+    }
+
+    template <class T> void unpeek() { typed<T>().unpeek(); }
+
+    template <class T> peek_range_t<T> peek_range( const std::size_t n )
+    {
+        return typed<T>().peek_range( n );
+    }
+
+    void recycle( const std::size_t n = 1 )
+    {
+        ensure_bound();
+        fifo_->recycle( n );
+    }
+    ///@}
+
+    /** @name occupancy (through the bound stream) */
+    ///@{
+    std::size_t size() const { return fifo_ ? fifo_->size() : 0; }
+    std::size_t capacity() const { return fifo_ ? fifo_->capacity() : 0; }
+    std::size_t space_avail() const
+    {
+        return fifo_ ? fifo_->space_avail() : 0;
+    }
+    bool drained() const { return fifo_ == nullptr || fifo_->drained(); }
+    ///@}
+
+    /**
+     * Typed view of the bound stream; throws type_mismatch_exception when T
+     * differs from the declared element type.
+     */
+    template <class T> fifo<T> &typed()
+    {
+        ensure_bound();
+        if( std::type_index( typeid( T ) ) != meta_.index )
+        {
+            throw type_mismatch_exception(
+                "port '" + name_ + "' carries " + meta_.name +
+                ", accessed as " +
+                detail::demangle( typeid( T ) ) );
+        }
+        return *static_cast<fifo<T> *>( fifo_ );
+    }
+
+private:
+    void ensure_bound() const
+    {
+        if( fifo_ == nullptr )
+        {
+            throw port_exception( "port '" + name_ +
+                                  "' accessed before the runtime bound a "
+                                  "stream (did you run map::exe()?)" );
+        }
+    }
+
+    std::string name_;
+    detail::type_meta meta_;
+    port_dir dir_;
+    fifo_base *fifo_{ nullptr };
+    bool linked_{ false };
+};
+
+/**
+ * Insertion-ordered collection of named ports; the `input` / `output`
+ * members of every kernel. "Port container objects can contain any type of
+ * port" (§4) — element types are per-port.
+ */
+class port_container
+{
+public:
+    explicit port_container( const port_dir dir ) : dir_( dir ) {}
+
+    port_container( const port_container & )            = delete;
+    port_container &operator=( const port_container & ) = delete;
+
+    /** Declare one or more ports of element type T. Returns the last one. */
+    template <class T, class... Names>
+    port &addPort( const std::string &name, Names &&...more )
+    {
+        port &p = add_one<T>( name );
+        if constexpr( sizeof...( more ) > 0 )
+        {
+            return addPort<T>( std::forward<Names>( more )... );
+        }
+        else
+        {
+            return p;
+        }
+    }
+
+    /**
+     * Runtime-internal: declare a port from an existing type_meta. The
+     * auto-parallelization and type-conversion adapters are type-erased, so
+     * they mint their ports from the metas of the ports they splice into.
+     */
+    port &add_with_meta( const std::string &name,
+                         const detail::type_meta &meta )
+    {
+        if( has( name ) )
+        {
+            throw port_exception( "port '" + name + "' declared twice" );
+        }
+        ports_.push_back( std::make_unique<port>( name, meta, dir_ ) );
+        index_.emplace( name, ports_.size() - 1 );
+        return *ports_.back();
+    }
+
+    /** Lookup by name; throws port_exception if absent. */
+    port &operator[]( const std::string &name )
+    {
+        const auto it = index_.find( name );
+        if( it == index_.end() )
+        {
+            throw port_exception( "no port named '" + name + "'" );
+        }
+        return *ports_[ it->second ];
+    }
+
+    const port &operator[]( const std::string &name ) const
+    {
+        const auto it = index_.find( name );
+        if( it == index_.end() )
+        {
+            throw port_exception( "no port named '" + name + "'" );
+        }
+        return *ports_[ it->second ];
+    }
+
+    bool has( const std::string &name ) const noexcept
+    {
+        return index_.count( name ) != 0;
+    }
+
+    std::size_t count() const noexcept { return ports_.size(); }
+    port_dir direction() const noexcept { return dir_; }
+
+    /** @name iteration (insertion order) */
+    ///@{
+    auto begin() { return deref_iter{ ports_.begin() }; }
+    auto end() { return deref_iter{ ports_.end() }; }
+    auto begin() const { return deref_citer{ ports_.begin() }; }
+    auto end() const { return deref_citer{ ports_.end() }; }
+    ///@}
+
+private:
+    template <class T> port &add_one( const std::string &name )
+    {
+        if( has( name ) )
+        {
+            throw port_exception( "port '" + name + "' declared twice" );
+        }
+        ports_.push_back( std::make_unique<port>(
+            name, detail::type_meta::of<T>(), dir_ ) );
+        index_.emplace( name, ports_.size() - 1 );
+        return *ports_.back();
+    }
+
+    struct deref_iter
+    {
+        std::vector<std::unique_ptr<port>>::iterator it;
+        port &operator*() const { return **it; }
+        deref_iter &operator++()
+        {
+            ++it;
+            return *this;
+        }
+        bool operator!=( const deref_iter &o ) const { return it != o.it; }
+    };
+
+    struct deref_citer
+    {
+        std::vector<std::unique_ptr<port>>::const_iterator it;
+        const port &operator*() const { return **it; }
+        deref_citer &operator++()
+        {
+            ++it;
+            return *this;
+        }
+        bool operator!=( const deref_citer &o ) const { return it != o.it; }
+    };
+
+    port_dir dir_;
+    std::vector<std::unique_ptr<port>> ports_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/** Paper-style alias: lambda kernels receive `Port &input, Port &output`. */
+using Port = port_container;
+
+} /** end namespace raft **/

@@ -1,0 +1,769 @@
+/**
+ * ringbuffer.hpp — lock-free single-producer / single-consumer ring buffer
+ * with cooperative dynamic resizing.
+ *
+ * This is the default allocation behind every stream (§4.2: heap-allocated
+ * memory; POSIX shared memory and TCP links share the semantics — the TCP
+ * link in net/ wraps one of these per endpoint).
+ *
+ * Fast path: one cache-line-padded monotonic counter per queue end, a
+ * relaxed gate check, release/acquire publication — no locks, no CAS loops.
+ *
+ * Dynamic resizing (§4): a monitor thread samples every δ and calls
+ * resize(). The resize protocol is the paper's "lock-free exclusion... only
+ * under certain conditions":
+ *
+ *   producer/consumer op:   in_op.store(true, seq_cst);
+ *                           if (gate.load(seq_cst)) { in_op=false; wait; }
+ *   monitor:                gate.store(true, seq_cst);
+ *                           wait until both in_op flags clear (bounded);
+ *                           relocate elements unwrapped; swap storage;
+ *                           gate.store(false);
+ *
+ * The seq_cst store/load pair is the classic Dekker handshake: either the
+ * queue end sees the gate and parks, or the monitor sees the end in-op and
+ * waits. Elements are relocated in order into index 0 of the new array, so
+ * the ring is in the "non-wrapped position" the paper identifies as the
+ * efficient resize condition. If an end cannot be parked within a bounded
+ * wait the resize aborts and the monitor retries next tick.
+ *
+ * Blocked-end bookkeeping feeds the monitor's two trigger rules:
+ *   - write_blocked_since(): writer stalled on a full queue (3δ rule),
+ *   - resize_request(): reader demanded a window larger than capacity.
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/defs.hpp"
+#include "core/fifo.hpp"
+
+namespace raft {
+
+template <class T> class ring_buffer final : public fifo<T>
+{
+public:
+    static constexpr std::size_t min_capacity = 2;
+
+    explicit ring_buffer( const std::size_t capacity = 64 )
+    {
+        const auto cap =
+            detail::pow2_ceil( std::max( capacity, min_capacity ) );
+        data_ = allocate_storage( cap );
+        sigs_ = new signal[ cap ]();
+        capacity_.store( cap, std::memory_order_relaxed );
+        mask_.store( cap - 1, std::memory_order_relaxed );
+    }
+
+    ring_buffer( const ring_buffer & )            = delete;
+    ring_buffer &operator=( const ring_buffer & ) = delete;
+
+    ~ring_buffer() override
+    {
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        for( auto i = h; i != t; ++i )
+        {
+            data_[ i & m ].~T();
+        }
+        ::operator delete( static_cast<void *>( data_ ),
+                           std::align_val_t( alignof( T ) ) );
+        delete[] sigs_;
+    }
+
+    /** @name fifo_base: occupancy */
+    ///@{
+    std::size_t size() const noexcept override
+    {
+        const auto t = tail_.load( std::memory_order_acquire );
+        const auto h = head_.load( std::memory_order_acquire );
+        return static_cast<std::size_t>( t - h );
+    }
+
+    std::size_t capacity() const noexcept override
+    {
+        return capacity_.load( std::memory_order_relaxed );
+    }
+
+    std::size_t space_avail() const noexcept override
+    {
+        const auto cap = capacity();
+        const auto sz  = size();
+        return ( sz > cap ) ? 0 : cap - sz;
+    }
+    ///@}
+
+    /** @name fifo_base: lifecycle */
+    ///@{
+    void close_write() noexcept override
+    {
+        write_closed_.store( true, std::memory_order_release );
+    }
+
+    bool write_closed() const noexcept override
+    {
+        return write_closed_.load( std::memory_order_acquire );
+    }
+
+    void close_read() noexcept override
+    {
+        read_closed_.store( true, std::memory_order_release );
+    }
+
+    bool read_closed() const noexcept override
+    {
+        return read_closed_.load( std::memory_order_acquire );
+    }
+    ///@}
+
+    /** @name fifo_base: dynamic resizing */
+    ///@{
+    bool resize( const std::size_t new_capacity ) override
+    {
+        const auto cap_req = detail::pow2_ceil(
+            std::max( new_capacity, min_capacity ) );
+        gate_.store( true, std::memory_order_seq_cst );
+        const auto deadline = detail::now_ns() + park_timeout_ns;
+        while( prod_op_.load( std::memory_order_seq_cst ) ||
+               cons_op_.load( std::memory_order_seq_cst ) )
+        {
+            if( detail::now_ns() > deadline )
+            {
+                gate_.store( false, std::memory_order_release );
+                return false;
+            }
+#if defined( __x86_64__ ) || defined( __i386__ )
+            __builtin_ia32_pause();
+#else
+            std::this_thread::yield();
+#endif
+        }
+        /** both ends parked — exclusive access from here **/
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto n = static_cast<std::size_t>( t - h );
+        if( cap_req < n )
+        {
+            gate_.store( false, std::memory_order_release );
+            return false;
+        }
+        if( cap_req == capacity() )
+        {
+            gate_.store( false, std::memory_order_release );
+            return true;
+        }
+        T *new_data       = allocate_storage( cap_req );
+        signal *new_sigs  = new signal[ cap_req ]();
+        const auto old_m  = mask_.load( std::memory_order_relaxed );
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            const auto idx = ( h + i ) & old_m;
+            ::new( static_cast<void *>( new_data + i ) )
+                T( std::move( data_[ idx ] ) );
+            new_sigs[ i ] = sigs_[ idx ];
+            data_[ idx ].~T();
+        }
+        ::operator delete( static_cast<void *>( data_ ),
+                           std::align_val_t( alignof( T ) ) );
+        delete[] sigs_;
+        data_ = new_data;
+        sigs_ = new_sigs;
+        /** preserve monotonic lifetime counters across index reset **/
+        pushed_base_.fetch_add( static_cast<std::uint64_t>( t ) - n,
+                                std::memory_order_relaxed );
+        popped_base_.fetch_add( static_cast<std::uint64_t>( h ),
+                                std::memory_order_relaxed );
+        head_.store( 0, std::memory_order_relaxed );
+        tail_.store( n, std::memory_order_relaxed );
+        capacity_.store( cap_req, std::memory_order_relaxed );
+        mask_.store( cap_req - 1, std::memory_order_relaxed );
+        resize_count_.fetch_add( 1, std::memory_order_relaxed );
+        if( resize_request_.load( std::memory_order_relaxed ) <= cap_req )
+        {
+            resize_request_.store( 0, std::memory_order_relaxed );
+        }
+        gate_.store( false, std::memory_order_release );
+        return true;
+    }
+
+    std::size_t resize_request() const noexcept override
+    {
+        return resize_request_.load( std::memory_order_acquire );
+    }
+
+    std::int64_t write_blocked_since() const noexcept override
+    {
+        return write_blocked_since_.load( std::memory_order_acquire );
+    }
+
+    std::int64_t read_blocked_since() const noexcept override
+    {
+        return read_blocked_since_.load( std::memory_order_acquire );
+    }
+
+    std::size_t resize_count() const noexcept override
+    {
+        return resize_count_.load( std::memory_order_relaxed );
+    }
+
+    void set_auto_resize( const bool enabled ) noexcept override
+    {
+        auto_resize_.store( enabled, std::memory_order_release );
+    }
+
+    bool auto_resize() const noexcept override
+    {
+        return auto_resize_.load( std::memory_order_acquire );
+    }
+    ///@}
+
+    /** @name fifo_base: adapters */
+    ///@{
+    bool try_transfer_to( fifo_base &dstb ) override
+    {
+        if( dstb.value_type() != typeid( T ) )
+        {
+            return false;
+        }
+        auto &dst = static_cast<fifo<T> &>( dstb );
+        enter_cons();
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = tail_.load( std::memory_order_acquire );
+        bool ok = false;
+        if( t != h )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            T &slot      = data_[ h & m ];
+            if( dst.try_push( std::move( slot ), sigs_[ h & m ] ) )
+            {
+                slot.~T();
+                head_.store( h + 1, std::memory_order_release );
+                ok = true;
+            }
+        }
+        exit_cons();
+        return ok;
+    }
+    ///@}
+
+    /** @name fifo_base: introspection */
+    ///@{
+    const std::type_info &value_type() const noexcept override
+    {
+        return typeid( T );
+    }
+
+    std::size_t element_size() const noexcept override { return sizeof( T ); }
+
+    std::uint64_t total_pushed() const noexcept override
+    {
+        return pushed_base_.load( std::memory_order_relaxed ) +
+               tail_.load( std::memory_order_acquire );
+    }
+
+    std::uint64_t total_popped() const noexcept override
+    {
+        return popped_base_.load( std::memory_order_relaxed ) +
+               head_.load( std::memory_order_acquire );
+    }
+    ///@}
+
+    /** @name fifo_base: arithmetic raw access */
+    ///@{
+    bool try_pop_as_double( double &out, signal &sig ) override
+    {
+        if constexpr( std::is_arithmetic_v<T> )
+        {
+            T v{};
+            if( !try_pop( v, &sig ) )
+            {
+                return false;
+            }
+            out = static_cast<double>( v );
+            return true;
+        }
+        else
+        {
+            (void) out;
+            (void) sig;
+            return false;
+        }
+    }
+
+    bool try_push_from_double( const double value, const signal sig ) override
+    {
+        if constexpr( std::is_arithmetic_v<T> )
+        {
+            return try_push( static_cast<T>( value ), sig );
+        }
+        else
+        {
+            (void) value;
+            (void) sig;
+            return false;
+        }
+    }
+    ///@}
+
+    /** @name fifo<T>: blocking operations */
+    ///@{
+    void push( const T &value, const signal sig = none ) override
+    {
+        if constexpr( std::is_copy_constructible_v<T> )
+        {
+            emplace_blocking( [ & ]( void *slot ) {
+                ::new( slot ) T( value );
+            }, sig );
+        }
+        else
+        {
+            (void) value;
+            (void) sig;
+            throw raft_exception(
+                "push(const T&) on a move-only element type" );
+        }
+    }
+
+    void push( T &&value, const signal sig = none ) override
+    {
+        emplace_blocking( [ & ]( void *slot ) {
+            ::new( slot ) T( std::move( value ) );
+        }, sig );
+    }
+
+    void pop( T &out, signal *sig = nullptr ) override
+    {
+        detail::backoff b;
+        for( ;; )
+        {
+            enter_cons();
+            const auto h = head_.load( std::memory_order_relaxed );
+            const auto t = tail_.load( std::memory_order_acquire );
+            if( t != h )
+            {
+                const auto m = mask_.load( std::memory_order_relaxed );
+                T &slot      = data_[ h & m ];
+                out          = std::move( slot );
+                if( sig != nullptr )
+                {
+                    *sig = sigs_[ h & m ];
+                }
+                slot.~T();
+                head_.store( h + 1, std::memory_order_release );
+                exit_cons();
+                clear_read_block();
+                return;
+            }
+            exit_cons();
+            throw_if_drained();
+            note_read_block();
+            b.pause();
+        }
+    }
+
+    const T &peek( signal *sig = nullptr ) override
+    {
+        signal s    = none;
+        const T &ref = claim_head( s );
+        if( sig != nullptr )
+        {
+            *sig = s;
+        }
+        return ref;
+    }
+
+    void unpeek() noexcept override { release_head(); }
+
+    void recycle( const std::size_t n = 1 ) override
+    {
+        std::size_t remaining = n;
+        detail::backoff b;
+        while( remaining > 0 )
+        {
+            enter_cons();
+            const auto h = head_.load( std::memory_order_relaxed );
+            const auto t = tail_.load( std::memory_order_acquire );
+            const auto avail = static_cast<std::size_t>( t - h );
+            if( avail > 0 )
+            {
+                const auto m     = mask_.load( std::memory_order_relaxed );
+                const auto batch = std::min( avail, remaining );
+                for( std::size_t i = 0; i < batch; ++i )
+                {
+                    data_[ ( h + i ) & m ].~T();
+                }
+                head_.store( h + batch, std::memory_order_release );
+                remaining -= batch;
+                exit_cons();
+                clear_read_block();
+                b.reset();
+                continue;
+            }
+            exit_cons();
+            throw_if_drained();
+            note_read_block();
+            b.pause();
+        }
+    }
+    ///@}
+
+    /** @name fifo<T>: non-blocking operations */
+    ///@{
+    bool try_push( T &&value, const signal sig = none ) override
+    {
+        if( read_closed() )
+        {
+            throw closed_port_exception(
+                "push on a stream whose reader terminated" );
+        }
+        enter_prod();
+        const auto t   = tail_.load( std::memory_order_relaxed );
+        const auto h   = head_.load( std::memory_order_acquire );
+        const auto cap = capacity_.load( std::memory_order_relaxed );
+        bool ok        = false;
+        if( static_cast<std::size_t>( t - h ) < cap )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            ::new( static_cast<void *>( data_ + ( t & m ) ) )
+                T( std::move( value ) );
+            sigs_[ t & m ] = sig;
+            tail_.store( t + 1, std::memory_order_release );
+            ok = true;
+        }
+        exit_prod();
+        return ok;
+    }
+
+    bool try_pop( T &out, signal *sig = nullptr ) override
+    {
+        enter_cons();
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = tail_.load( std::memory_order_acquire );
+        bool ok      = false;
+        if( t != h )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            T &slot      = data_[ h & m ];
+            out          = std::move( slot );
+            if( sig != nullptr )
+            {
+                *sig = sigs_[ h & m ];
+            }
+            slot.~T();
+            head_.store( h + 1, std::memory_order_release );
+            ok = true;
+        }
+        exit_cons();
+        return ok;
+    }
+    ///@}
+
+    /** @name fifo<T>: claim primitives */
+    ///@{
+    T &claim_head( signal &sig ) override
+    {
+        detail::backoff b;
+        for( ;; )
+        {
+            enter_cons();
+            const auto h = head_.load( std::memory_order_relaxed );
+            const auto t = tail_.load( std::memory_order_acquire );
+            if( t != h )
+            {
+                const auto m = mask_.load( std::memory_order_relaxed );
+                sig          = sigs_[ h & m ];
+                clear_read_block();
+                /** claim stays held — released by consume/release_head **/
+                return data_[ h & m ];
+            }
+            exit_cons();
+            throw_if_drained();
+            note_read_block();
+            b.pause();
+        }
+    }
+
+    void consume_head() noexcept override
+    {
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        data_[ h & m ].~T();
+        head_.store( h + 1, std::memory_order_release );
+        exit_cons();
+    }
+
+    void release_head() noexcept override { exit_cons(); }
+
+    T *claim_tail() override
+    {
+        static_assert( std::is_default_constructible_v<T>,
+                       "allocate_s requires a default-constructible type" );
+        detail::backoff b;
+        for( ;; )
+        {
+            if( read_closed() )
+            {
+                throw closed_port_exception(
+                    "allocate on a stream whose reader terminated" );
+            }
+            enter_prod();
+            const auto t   = tail_.load( std::memory_order_relaxed );
+            const auto h   = head_.load( std::memory_order_acquire );
+            const auto cap = capacity_.load( std::memory_order_relaxed );
+            if( static_cast<std::size_t>( t - h ) < cap )
+            {
+                const auto m = mask_.load( std::memory_order_relaxed );
+                T *slot = ::new( static_cast<void *>( data_ + ( t & m ) ) ) T();
+                clear_write_block();
+                /** claim stays held — released by publish/abandon_tail **/
+                return slot;
+            }
+            exit_prod();
+            note_write_block();
+            b.pause();
+        }
+    }
+
+    void publish_tail( const signal sig ) noexcept override
+    {
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        sigs_[ t & m ] = sig;
+        tail_.store( t + 1, std::memory_order_release );
+        exit_prod();
+    }
+
+    void abandon_tail() noexcept override
+    {
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        data_[ t & m ].~T();
+        exit_prod();
+    }
+
+    void claim_window( const std::size_t n,
+                       T **data,
+                       std::uint64_t *start,
+                       std::size_t *mask ) override
+    {
+        detail::backoff b;
+        for( ;; )
+        {
+            if( n > capacity() )
+            {
+                if( !auto_resize() )
+                {
+                    throw demand_exceeds_capacity_exception(
+                        "peek_range(" + std::to_string( n ) +
+                        ") exceeds capacity " +
+                        std::to_string( capacity() ) +
+                        " and dynamic resizing is disabled" );
+                }
+                /** post the overflow demand; the monitor thread grows us **/
+                resize_request_.store( detail::pow2_ceil( n ),
+                                       std::memory_order_release );
+                note_read_block();
+                b.pause();
+                continue;
+            }
+            enter_cons();
+            const auto h = head_.load( std::memory_order_relaxed );
+            const auto t = tail_.load( std::memory_order_acquire );
+            if( static_cast<std::size_t>( t - h ) >= n )
+            {
+                *data  = data_;
+                *start = h;
+                *mask  = mask_.load( std::memory_order_relaxed );
+                clear_read_block();
+                /** claim held — released by the window's destructor **/
+                return;
+            }
+            exit_cons();
+            if( write_closed() &&
+                static_cast<std::size_t>(
+                    tail_.load( std::memory_order_acquire ) -
+                    head_.load( std::memory_order_relaxed ) ) < n )
+            {
+                clear_read_block();
+                throw closed_port_exception(
+                    "peek_range can never be satisfied: upstream closed" );
+            }
+            note_read_block();
+            b.pause();
+        }
+    }
+    ///@}
+
+private:
+    static T *allocate_storage( const std::size_t cap )
+    {
+        return static_cast<T *>( ::operator new(
+            sizeof( T ) * cap, std::align_val_t( alignof( T ) ) ) );
+    }
+
+    template <class Construct>
+    void emplace_blocking( Construct &&construct, const signal sig )
+    {
+        detail::backoff b;
+        for( ;; )
+        {
+            if( read_closed() )
+            {
+                throw closed_port_exception(
+                    "push on a stream whose reader terminated" );
+            }
+            enter_prod();
+            const auto t   = tail_.load( std::memory_order_relaxed );
+            const auto h   = head_.load( std::memory_order_acquire );
+            const auto cap = capacity_.load( std::memory_order_relaxed );
+            if( static_cast<std::size_t>( t - h ) < cap )
+            {
+                const auto m = mask_.load( std::memory_order_relaxed );
+                construct( static_cast<void *>( data_ + ( t & m ) ) );
+                sigs_[ t & m ] = sig;
+                tail_.store( t + 1, std::memory_order_release );
+                exit_prod();
+                clear_write_block();
+                return;
+            }
+            exit_prod();
+            note_write_block();
+            b.pause();
+        }
+    }
+
+    void throw_if_drained()
+    {
+        if( write_closed() )
+        {
+            const auto t = tail_.load( std::memory_order_acquire );
+            const auto h = head_.load( std::memory_order_relaxed );
+            if( t == h )
+            {
+                clear_read_block();
+                throw closed_port_exception( "stream drained and closed" );
+            }
+        }
+    }
+
+    /** @name gate handshake (see file header) */
+    ///@{
+    void enter_prod() noexcept
+    {
+        if( prod_depth_++ > 0 )
+        {
+            return;
+        }
+        for( ;; )
+        {
+            prod_op_.store( true, std::memory_order_seq_cst );
+            if( !gate_.load( std::memory_order_seq_cst ) )
+            {
+                return;
+            }
+            prod_op_.store( false, std::memory_order_release );
+            std::this_thread::yield();
+        }
+    }
+
+    void exit_prod() noexcept
+    {
+        if( --prod_depth_ == 0 )
+        {
+            prod_op_.store( false, std::memory_order_release );
+        }
+    }
+
+    void enter_cons() noexcept
+    {
+        if( cons_depth_++ > 0 )
+        {
+            return;
+        }
+        for( ;; )
+        {
+            cons_op_.store( true, std::memory_order_seq_cst );
+            if( !gate_.load( std::memory_order_seq_cst ) )
+            {
+                return;
+            }
+            cons_op_.store( false, std::memory_order_release );
+            std::this_thread::yield();
+        }
+    }
+
+    void exit_cons() noexcept
+    {
+        if( --cons_depth_ == 0 )
+        {
+            cons_op_.store( false, std::memory_order_release );
+        }
+    }
+    ///@}
+
+    void note_write_block() noexcept
+    {
+        std::int64_t expected = 0;
+        write_blocked_since_.compare_exchange_strong(
+            expected, detail::now_ns(), std::memory_order_relaxed );
+    }
+
+    void clear_write_block() noexcept
+    {
+        write_blocked_since_.store( 0, std::memory_order_relaxed );
+    }
+
+    void note_read_block() noexcept
+    {
+        std::int64_t expected = 0;
+        read_blocked_since_.compare_exchange_strong(
+            expected, detail::now_ns(), std::memory_order_relaxed );
+    }
+
+    void clear_read_block() noexcept
+    {
+        read_blocked_since_.store( 0, std::memory_order_relaxed );
+    }
+
+    static constexpr std::int64_t park_timeout_ns = 2'000'000; /** 2 ms **/
+
+    /** storage — mutated only with both ends parked **/
+    T *data_{ nullptr };
+    signal *sigs_{ nullptr };
+    std::atomic<std::size_t> capacity_{ 0 };
+    std::atomic<std::size_t> mask_{ 0 };
+
+    /** hot indices, one cache line each **/
+    alignas( cacheline_size ) std::atomic<std::uint64_t> head_{ 0 };
+    alignas( cacheline_size ) std::atomic<std::uint64_t> tail_{ 0 };
+
+    /** gate handshake state **/
+    alignas( cacheline_size ) std::atomic<bool> gate_{ false };
+    std::atomic<bool> prod_op_{ false };
+    std::atomic<bool> cons_op_{ false };
+    int prod_depth_{ 0 }; /**< producer-thread private nesting depth */
+    int cons_depth_{ 0 }; /**< consumer-thread private nesting depth */
+
+    /** lifecycle **/
+    std::atomic<bool> write_closed_{ false };
+    std::atomic<bool> read_closed_{ false };
+
+    /** monitor-facing bookkeeping **/
+    std::atomic<std::int64_t> write_blocked_since_{ 0 };
+    std::atomic<std::int64_t> read_blocked_since_{ 0 };
+    std::atomic<std::size_t> resize_request_{ 0 };
+    std::atomic<std::size_t> resize_count_{ 0 };
+    std::atomic<bool> auto_resize_{ false };
+    std::atomic<std::uint64_t> pushed_base_{ 0 };
+    std::atomic<std::uint64_t> popped_base_{ 0 };
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,275 @@
+#include "core/scheduler.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/defs.hpp"
+#include "core/exceptions.hpp"
+
+#if defined( __linux__ )
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace raft {
+
+namespace detail {
+
+void close_kernel_streams( kernel &k )
+{
+    for( auto &p : k.output )
+    {
+        if( p.bound() )
+        {
+            p.raw().close_write();
+        }
+    }
+    for( auto &p : k.input )
+    {
+        if( p.bound() )
+        {
+            p.raw().close_read();
+        }
+    }
+}
+
+void kernel_loop( kernel &k, std::exception_ptr &error,
+                  std::mutex &error_mutex )
+{
+    try
+    {
+        for( ;; )
+        {
+            if( k.bus() != nullptr && k.bus()->termination_requested() )
+            {
+                break;
+            }
+            if( k.run() == raft::stop )
+            {
+                break;
+            }
+        }
+    }
+    catch( const closed_port_exception & )
+    {
+        /** normal end-of-stream control flow **/
+    }
+    catch( ... )
+    {
+        {
+            const std::lock_guard<std::mutex> lock( error_mutex );
+            if( !error )
+            {
+                error = std::current_exception();
+            }
+        }
+        if( k.bus() != nullptr )
+        {
+            k.bus()->raise( raft::term );
+        }
+    }
+    close_kernel_streams( k );
+}
+
+namespace {
+
+void pin_to_core( [[maybe_unused]] const unsigned core_id )
+{
+#if defined( __linux__ )
+    cpu_set_t set;
+    CPU_ZERO( &set );
+    CPU_SET( core_id % std::max( 1u, std::thread::hardware_concurrency() ),
+             &set );
+    (void) pthread_setaffinity_np( pthread_self(), sizeof( set ), &set );
+#endif
+}
+
+} /** end anonymous namespace **/
+
+} /** end namespace detail **/
+
+/* ------------------------------------------------------------------ */
+/* thread-per-kernel (default)                                          */
+/* ------------------------------------------------------------------ */
+
+void thread_scheduler::execute( const std::vector<kernel *> &kernels,
+                                const run_options &opts,
+                                const mapping::assignment *assign,
+                                const mapping::machine_desc &machine )
+{
+    (void) machine;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> threads;
+    threads.reserve( kernels.size() );
+    for( std::size_t i = 0; i < kernels.size(); ++i )
+    {
+        kernel *k = kernels[ i ];
+        const unsigned core =
+            ( assign != nullptr && i < assign->core_of.size() )
+                ? assign->core_of[ i ]
+                : 0u;
+        const bool pin = opts.pin_threads && assign != nullptr;
+        threads.emplace_back( [ k, core, pin, &error, &error_mutex ]() {
+            if( pin )
+            {
+                detail::pin_to_core( core );
+            }
+            detail::kernel_loop( *k, error, error_mutex );
+        } );
+    }
+    for( auto &t : threads )
+    {
+        t.join();
+    }
+    if( error )
+    {
+        std::rethrow_exception( error );
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* cooperative pool                                                     */
+/* ------------------------------------------------------------------ */
+
+void pool_scheduler::execute( const std::vector<kernel *> &kernels,
+                              const run_options &opts,
+                              const mapping::assignment *assign,
+                              const mapping::machine_desc &machine )
+{
+    (void) assign;
+    (void) machine;
+    enum : int
+    {
+        idle    = 0,
+        running = 1,
+        done    = 2
+    };
+    const std::size_t n = kernels.size();
+    std::vector<std::atomic<int>> state( n );
+    for( auto &s : state )
+    {
+        s.store( idle, std::memory_order_relaxed );
+    }
+    std::atomic<std::size_t> done_count{ 0 };
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const auto worker_count = std::max<std::size_t>(
+        1, opts.pool_threads != 0 ? opts.pool_threads
+                                  : std::thread::hardware_concurrency() );
+    const auto batch = std::max<std::size_t>( 1, opts.pool_batch_size );
+
+    auto worker = [ & ]() {
+        detail::backoff idle_backoff;
+        while( done_count.load( std::memory_order_acquire ) < n )
+        {
+            bool progressed = false;
+            for( std::size_t i = 0; i < n; ++i )
+            {
+                int expect = idle;
+                if( !state[ i ].compare_exchange_strong(
+                        expect, running, std::memory_order_acq_rel ) )
+                {
+                    continue;
+                }
+                kernel *k = kernels[ i ];
+                bool finished = false;
+                if( k->bus() != nullptr &&
+                    k->bus()->termination_requested() )
+                {
+                    finished = true;
+                }
+                else if( k->ready() )
+                {
+                    try
+                    {
+                        /** batched dispatch: amortize scheduling cost
+                         *  and keep the kernel's working set cache-hot
+                         *  while it stays ready **/
+                        for( std::size_t b = 0; b < batch; ++b )
+                        {
+                            if( k->run() == raft::stop )
+                            {
+                                finished = true;
+                                break;
+                            }
+                            if( b + 1 < batch && !k->ready() )
+                            {
+                                break;
+                            }
+                        }
+                    }
+                    catch( const closed_port_exception & )
+                    {
+                        finished = true;
+                    }
+                    catch( ... )
+                    {
+                        {
+                            const std::lock_guard<std::mutex> lock(
+                                error_mutex );
+                            if( !error )
+                            {
+                                error = std::current_exception();
+                            }
+                        }
+                        if( k->bus() != nullptr )
+                        {
+                            k->bus()->raise( raft::term );
+                        }
+                        finished = true;
+                    }
+                    progressed = true;
+                }
+                if( finished )
+                {
+                    detail::close_kernel_streams( *k );
+                    state[ i ].store( done, std::memory_order_release );
+                    done_count.fetch_add( 1, std::memory_order_acq_rel );
+                }
+                else
+                {
+                    state[ i ].store( idle, std::memory_order_release );
+                }
+            }
+            if( progressed )
+            {
+                idle_backoff.reset();
+            }
+            else
+            {
+                idle_backoff.pause();
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    for( std::size_t w = 0; w < worker_count; ++w )
+    {
+        workers.emplace_back( worker );
+    }
+    for( auto &t : workers )
+    {
+        t.join();
+    }
+    if( error )
+    {
+        std::rethrow_exception( error );
+    }
+}
+
+std::unique_ptr<ischeduler> make_scheduler( const scheduler_kind kind )
+{
+    switch( kind )
+    {
+        case scheduler_kind::pool:
+            return std::make_unique<pool_scheduler>();
+        case scheduler_kind::thread_per_kernel:
+        default:
+            return std::make_unique<thread_scheduler>();
+    }
+}
+
+} /** end namespace raft **/

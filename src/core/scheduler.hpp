@@ -1,0 +1,88 @@
+/**
+ * scheduler.hpp — pluggable kernel schedulers (§4.1).
+ *
+ * "The initial scheduling algorithm for threads and processes is simply the
+ * default thread-level scheduler provided by the underlying operating
+ * system... RaftLib, of course, allows the substitution of any scheduler
+ * desired."
+ *
+ *  - thread_scheduler: one OS thread per kernel (the paper's default).
+ *    Kernels block inside port operations; end-of-stream surfaces as
+ *    closed_port_exception, which the scheduler treats as completion.
+ *  - pool_scheduler: cooperative worker pool — N workers sweep the kernel
+ *    set and invoke run() once per ready kernel. A research alternative
+ *    ("straightforward to substitute with new algorithms").
+ *
+ * When a kernel completes, the scheduler closes its output streams for
+ * writing (end-of-stream propagates downstream) and its input streams for
+ * reading (blocked upstream producers terminate instead of deadlocking).
+ */
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/kernel.hpp"
+#include "core/options.hpp"
+#include "mapping/machine.hpp"
+
+namespace raft {
+
+class ischeduler
+{
+public:
+    virtual ~ischeduler() = default;
+
+    /**
+     * Run every kernel to completion; returns when the application has
+     * fully drained. `assign` (optional) maps kernel index → core id for
+     * affinity pinning. Rethrows the first non-control-flow exception a
+     * kernel raised, after all kernels have been shut down.
+     */
+    virtual void execute( const std::vector<kernel *> &kernels,
+                          const run_options &opts,
+                          const mapping::assignment *assign,
+                          const mapping::machine_desc &machine ) = 0;
+};
+
+class thread_scheduler final : public ischeduler
+{
+public:
+    void execute( const std::vector<kernel *> &kernels,
+                  const run_options &opts,
+                  const mapping::assignment *assign,
+                  const mapping::machine_desc &machine ) override;
+};
+
+class pool_scheduler final : public ischeduler
+{
+public:
+    void execute( const std::vector<kernel *> &kernels,
+                  const run_options &opts,
+                  const mapping::assignment *assign,
+                  const mapping::machine_desc &machine ) override;
+};
+
+std::unique_ptr<ischeduler> make_scheduler( scheduler_kind kind );
+
+namespace detail {
+
+/**
+ * Drive one kernel to completion (thread scheduler body): loop run() until
+ * raft::stop, closed_port_exception, or a bus termination request. Any
+ * other exception is recorded in `error` (first wins) and raft::term is
+ * raised on the bus. Afterwards the kernel's streams are closed on both
+ * sides.
+ */
+void kernel_loop( kernel &k, std::exception_ptr &error,
+                  std::mutex &error_mutex );
+
+/** Close all bound streams of a completed kernel (outputs for writing,
+ *  inputs for reading). */
+void close_kernel_streams( kernel &k );
+
+} /** end namespace detail **/
+
+} /** end namespace raft **/

@@ -1,0 +1,67 @@
+/**
+ * signal.hpp — in-band (synchronous) and out-of-band (asynchronous) signals.
+ *
+ * The paper (§4.2) describes two signalling pathways:
+ *  - synchronized signals ride with a data element so a downstream kernel
+ *    receives the signal at the same time as the corresponding element
+ *    (e.g., end-of-file);
+ *  - asynchronous signals are immediately visible to downstream kernels
+ *    (the paper earmarks this pathway for global exception handling).
+ *
+ * Every FIFO slot carries a `raft::signal` beside the payload; the
+ * `async_signal_bus` implements the immediate pathway.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace raft {
+
+/** Synchronous, element-aligned signal values. */
+enum signal : std::uint8_t
+{
+    none = 0,  /**< ordinary data element                      */
+    sos  = 1,  /**< start of stream                            */
+    eos  = 2,  /**< end of stream (e.g., end-of-file)          */
+    term = 3   /**< request immediate orderly termination      */
+};
+
+/**
+ * Asynchronous signal bus: one per application run. Kernels may raise a
+ * signal that every other kernel can observe on its next check, without
+ * waiting for in-band data to flow. Used for global exception/termination
+ * propagation.
+ */
+class async_signal_bus
+{
+public:
+    /** Raise `s`; later raises overwrite earlier ones except `term`,
+     *  which is sticky. */
+    void raise( const signal s ) noexcept
+    {
+        if( current_.load( std::memory_order_relaxed ) == term )
+        {
+            return;
+        }
+        current_.store( s, std::memory_order_release );
+    }
+
+    /** Most recently raised signal (none if nothing raised). */
+    signal current() const noexcept
+    {
+        return current_.load( std::memory_order_acquire );
+    }
+
+    bool termination_requested() const noexcept
+    {
+        return current() == term;
+    }
+
+    void reset() noexcept { current_.store( none, std::memory_order_release ); }
+
+private:
+    std::atomic<signal> current_{ none };
+};
+
+} /** end namespace raft **/

@@ -1,0 +1,110 @@
+/**
+ * split_strategy.hpp — data-distribution policies for split adapters.
+ *
+ * "Split data distribution can be done in many ways, and the run-time
+ * attempts to select the best amongst round-robin and least-utilized
+ * strategies (queue utilization used to direct data flow to less utilized
+ * servers). As with all of the specific mechanisms ... each of these
+ * approaches is designed to be easily swapped out for alternatives,
+ * enabling empirical comparative study between approaches." (§4.1)
+ *
+ * A strategy ranks the candidate output streams for the next element; the
+ * split adapter tries them in that order (skipping full ones).
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/fifo.hpp"
+#include "core/options.hpp"
+
+namespace raft {
+
+class split_strategy
+{
+public:
+    virtual ~split_strategy() = default;
+
+    /**
+     * Index of the preferred output for the next element. For non-strict
+     * strategies the adapter falls back to (chosen + k) % n when the
+     * preferred stream is full.
+     */
+    virtual std::size_t choose(
+        const std::vector<fifo_base *> &outputs ) = 0;
+
+    /**
+     * Strict strategies fix the destination of each element (true
+     * round-robin dealing): the adapter waits for the chosen stream
+     * rather than rerouting. Adaptive strategies let the adapter fall
+     * back to any stream with space.
+     */
+    virtual bool strict() const { return false; }
+
+    virtual const char *name() const = 0;
+};
+
+/** Cycle through outputs regardless of their state. */
+class round_robin_strategy final : public split_strategy
+{
+public:
+    std::size_t choose( const std::vector<fifo_base *> &outputs ) override
+    {
+        const auto n = outputs.size();
+        const auto c = next_++;
+        return n == 0 ? 0 : c % n;
+    }
+
+    /** classic dealing: element i goes to replica i mod n, full stop **/
+    bool strict() const override { return true; }
+
+    const char *name() const override { return "round-robin"; }
+
+private:
+    std::size_t next_{ 0 };
+};
+
+/** Direct flow to the replica whose queue is least utilized right now. */
+class least_utilized_strategy final : public split_strategy
+{
+public:
+    std::size_t choose( const std::vector<fifo_base *> &outputs ) override
+    {
+        std::size_t best    = 0;
+        double best_util    = 2.0; /** above any real utilization **/
+        for( std::size_t i = 0; i < outputs.size(); ++i )
+        {
+            const auto cap = outputs[ i ]->capacity();
+            const auto util =
+                cap == 0 ? 1.0
+                         : static_cast<double>( outputs[ i ]->size() ) /
+                               static_cast<double>( cap );
+            if( util < best_util )
+            {
+                best_util = util;
+                best      = i;
+            }
+        }
+        return best;
+    }
+
+    const char *name() const override { return "least-utilized"; }
+};
+
+inline std::unique_ptr<split_strategy>
+make_split_strategy( const split_kind kind )
+{
+    switch( kind )
+    {
+        case split_kind::round_robin:
+            return std::make_unique<round_robin_strategy>();
+        case split_kind::least_utilized:
+        default:
+            return std::make_unique<least_utilized_strategy>();
+    }
+}
+
+} /** end namespace raft **/

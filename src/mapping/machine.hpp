@@ -1,0 +1,92 @@
+/**
+ * machine.hpp — model of the compute platform the mapper targets.
+ *
+ * The paper's mapping problem (§4.1) assigns kernels to compute resources
+ * so the fewest streams cross high-latency connections ("across physical
+ * compute cores or TCP links"). This model captures exactly the structure
+ * that algorithm consumes: a set of cores grouped into sockets grouped into
+ * nodes, with a latency class per boundary.
+ */
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace raft::mapping {
+
+struct core_desc
+{
+    unsigned id{ 0 };
+    unsigned socket{ 0 };
+    unsigned node{ 0 };
+};
+
+struct machine_desc
+{
+    std::vector<core_desc> cores;
+
+    /** Communication latency classes (ns), ordered low→high. */
+    double intra_core_latency_ns{ 15.0 };    /**< same core (SMT/queue)   */
+    double intra_socket_latency_ns{ 45.0 };  /**< core-to-core, one die   */
+    double inter_socket_latency_ns{ 130.0 }; /**< QPI/UPI hop             */
+    double tcp_latency_ns{ 25'000.0 };       /**< loopback/near TCP link  */
+
+    /** Latency class between two cores of this machine. */
+    double link_latency( const core_desc &a, const core_desc &b ) const
+    {
+        if( a.node != b.node )
+        {
+            return tcp_latency_ns;
+        }
+        if( a.socket != b.socket )
+        {
+            return inter_socket_latency_ns;
+        }
+        if( a.id != b.id )
+        {
+            return intra_socket_latency_ns;
+        }
+        return intra_core_latency_ns;
+    }
+
+    std::size_t core_count() const noexcept { return cores.size(); }
+
+    /** The machine we are actually running on: hardware_concurrency cores,
+     *  one socket, one node. */
+    static machine_desc detect()
+    {
+        const auto n = std::max( 1u, std::thread::hardware_concurrency() );
+        return synthetic( 1, 1, n );
+    }
+
+    /** Synthetic topology for mapper studies and the DES (e.g., the paper's
+     *  Table 1 machine: synthetic(1, 2, 8)). */
+    static machine_desc synthetic( const unsigned nodes,
+                                   const unsigned sockets_per_node,
+                                   const unsigned cores_per_socket )
+    {
+        machine_desc m;
+        unsigned id = 0;
+        for( unsigned n = 0; n < nodes; ++n )
+        {
+            for( unsigned s = 0; s < sockets_per_node; ++s )
+            {
+                for( unsigned c = 0; c < cores_per_socket; ++c )
+                {
+                    m.cores.push_back(
+                        core_desc{ id++, n * sockets_per_node + s, n } );
+                }
+            }
+        }
+        return m;
+    }
+};
+
+/** Result of mapping: kernel index (in topology order) → core id. */
+struct assignment
+{
+    std::vector<unsigned> core_of;
+};
+
+} /** end namespace raft::mapping **/

@@ -1,0 +1,322 @@
+#include "mapping/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace raft::mapping {
+
+namespace {
+
+/** Undirected adjacency (kernel index -> neighbour indices, duplicates kept:
+ *  parallel streams count once each toward the cut). */
+std::vector<std::vector<std::size_t>>
+adjacency( const topology &topo )
+{
+    std::vector<std::vector<std::size_t>> adj( topo.kernels().size() );
+    for( const auto &e : topo.edges() )
+    {
+        const auto a = topo.index_of( e.src );
+        const auto b = topo.index_of( e.dst );
+        if( a == b )
+        {
+            continue;
+        }
+        adj[ a ].push_back( b );
+        adj[ b ].push_back( a );
+    }
+    return adj;
+}
+
+/** BFS order over `members` (indices into the kernel list), seeded from the
+ *  lowest-index member of each connected component — keeps pipeline chains
+ *  contiguous so a prefix/suffix split crosses few streams. */
+std::vector<std::size_t>
+bfs_order( const std::vector<std::size_t> &members,
+           const std::vector<std::vector<std::size_t>> &adj )
+{
+    std::vector<bool> in_set( adj.size(), false );
+    for( const auto m : members )
+    {
+        in_set[ m ] = true;
+    }
+    std::vector<bool> seen( adj.size(), false );
+    std::vector<std::size_t> order;
+    order.reserve( members.size() );
+    for( const auto seed : members )
+    {
+        if( seen[ seed ] )
+        {
+            continue;
+        }
+        std::deque<std::size_t> q{ seed };
+        seen[ seed ] = true;
+        while( !q.empty() )
+        {
+            const auto v = q.front();
+            q.pop_front();
+            order.push_back( v );
+            for( const auto w : adj[ v ] )
+            {
+                if( in_set[ w ] && !seen[ w ] )
+                {
+                    seen[ w ] = true;
+                    q.push_back( w );
+                }
+            }
+        }
+    }
+    return order;
+}
+
+/**
+ * Bisect `members` into (A, B) with |A| = size_a, minimizing streams across
+ * the cut: BFS-prefix seed + greedy single-move improvement that preserves
+ * the size split exactly (pairwise swaps).
+ */
+void bisect( const std::vector<std::size_t> &members,
+             const std::vector<std::vector<std::size_t>> &adj,
+             const std::size_t size_a,
+             std::vector<std::size_t> &part_a,
+             std::vector<std::size_t> &part_b )
+{
+    const auto order = bfs_order( members, adj );
+    std::vector<bool> in_a( adj.size(), false );
+    for( std::size_t i = 0; i < order.size(); ++i )
+    {
+        if( i < size_a )
+        {
+            in_a[ order[ i ] ] = true;
+        }
+    }
+
+    /** greedy swap pass: exchange the best (a, b) pair while the cut drops */
+    std::vector<bool> in_set( adj.size(), false );
+    for( const auto m : members )
+    {
+        in_set[ m ] = true;
+    }
+    auto gain_of_flip = [ & ]( const std::size_t v ) {
+        /** cut decrease if v switches sides: cross-neighbours minus
+         *  same-side neighbours (within the member set) */
+        long g = 0;
+        for( const auto w : adj[ v ] )
+        {
+            if( !in_set[ w ] )
+            {
+                continue;
+            }
+            g += ( in_a[ v ] != in_a[ w ] ) ? 1 : -1;
+        }
+        return g;
+    };
+    for( std::size_t pass = 0; pass < members.size(); ++pass )
+    {
+        long best_gain   = 0;
+        std::size_t best_a = 0, best_b = 0;
+        bool found = false;
+        for( const auto v : members )
+        {
+            if( !in_a[ v ] )
+            {
+                continue;
+            }
+            for( const auto w : members )
+            {
+                if( in_a[ w ] )
+                {
+                    continue;
+                }
+                long g = gain_of_flip( v ) + gain_of_flip( w );
+                /** if v and w are adjacent the shared stream was counted
+                 *  as +1 in both flips but stays crossing after a swap */
+                for( const auto x : adj[ v ] )
+                {
+                    if( x == w )
+                    {
+                        g -= 2;
+                    }
+                }
+                if( g > best_gain )
+                {
+                    best_gain = g;
+                    best_a    = v;
+                    best_b    = w;
+                    found     = true;
+                }
+            }
+        }
+        if( !found )
+        {
+            break;
+        }
+        in_a[ best_a ] = false;
+        in_a[ best_b ] = true;
+    }
+
+    for( const auto m : members )
+    {
+        ( in_a[ m ] ? part_a : part_b ).push_back( m );
+    }
+}
+
+/** Group cores of the machine by a projection (node / socket / id). */
+template <class Proj>
+std::vector<std::vector<unsigned>>
+group_cores( const std::vector<unsigned> &core_ids,
+             const machine_desc &machine,
+             Proj proj )
+{
+    std::vector<std::vector<unsigned>> groups;
+    std::vector<unsigned> keys;
+    for( const auto id : core_ids )
+    {
+        const auto key = proj( machine.cores[ id ] );
+        auto it        = std::find( keys.begin(), keys.end(), key );
+        if( it == keys.end() )
+        {
+            keys.push_back( key );
+            groups.emplace_back();
+            it = keys.end() - 1;
+        }
+        groups[ static_cast<std::size_t>( it - keys.begin() ) ].push_back(
+            id );
+    }
+    return groups;
+}
+
+/**
+ * Recursive step: assign `members` across `core_ids`, splitting along the
+ * highest remaining latency boundary first (level 0 = node, 1 = socket,
+ * 2 = core). When a group level has a single group, descend a level; when
+ * cores run out of structure, share kernels evenly (round-robin over the
+ * BFS order — "computation is shared evenly amongst the cores").
+ */
+void assign_recursive( const std::vector<std::size_t> &members,
+                       const std::vector<unsigned> &core_ids,
+                       const int level,
+                       const topology &topo,
+                       const machine_desc &machine,
+                       const std::vector<std::vector<std::size_t>> &adj,
+                       assignment &out )
+{
+    if( members.empty() )
+    {
+        return;
+    }
+    if( core_ids.size() == 1 || level > 2 )
+    {
+        for( const auto m : members )
+        {
+            out.core_of[ m ] = core_ids.front();
+        }
+        return;
+    }
+
+    std::vector<std::vector<unsigned>> groups;
+    switch( level )
+    {
+        case 0:
+            groups = group_cores( core_ids, machine,
+                                  []( const core_desc &c ) { return c.node; } );
+            break;
+        case 1:
+            groups = group_cores( core_ids, machine,
+                                  []( const core_desc &c ) { return c.socket; } );
+            break;
+        default:
+            groups = group_cores( core_ids, machine,
+                                  []( const core_desc &c ) { return c.id; } );
+            break;
+    }
+
+    if( groups.size() <= 1 )
+    {
+        assign_recursive( members, core_ids, level + 1, topo, machine, adj,
+                          out );
+        return;
+    }
+
+    /** repeatedly bisect: first group vs the rest, proportional to size **/
+    std::vector<std::size_t> remaining = members;
+    std::vector<unsigned> remaining_cores = core_ids;
+    for( std::size_t g = 0; g + 1 < groups.size(); ++g )
+    {
+        const auto group_cores_n = groups[ g ].size();
+        const auto total_cores   = remaining_cores.size();
+        const auto want = std::max<std::size_t>(
+            1, remaining.size() * group_cores_n / total_cores );
+        std::vector<std::size_t> part_a, part_b;
+        bisect( remaining, adj, std::min( want, remaining.size() ),
+                part_a, part_b );
+        assign_recursive( part_a, groups[ g ], level + 1, topo, machine,
+                          adj, out );
+        remaining = std::move( part_b );
+        std::vector<unsigned> rest;
+        for( const auto id : remaining_cores )
+        {
+            if( std::find( groups[ g ].begin(), groups[ g ].end(), id ) ==
+                groups[ g ].end() )
+            {
+                rest.push_back( id );
+            }
+        }
+        remaining_cores = std::move( rest );
+    }
+    assign_recursive( remaining, groups.back(), level + 1, topo, machine,
+                      adj, out );
+}
+
+} /** end anonymous namespace **/
+
+assignment partition( const topology &topo, const machine_desc &machine )
+{
+    const auto n = topo.kernels().size();
+    assignment out;
+    out.core_of.assign( n, 0 );
+    if( machine.cores.empty() || n == 0 )
+    {
+        return out;
+    }
+    const auto adj = adjacency( topo );
+    std::vector<std::size_t> all( n );
+    std::iota( all.begin(), all.end(), std::size_t{ 0 } );
+    std::vector<unsigned> ids;
+    for( const auto &c : machine.cores )
+    {
+        ids.push_back( c.id );
+    }
+    /**
+     * Even sharing when kernels outnumber structure: assign_recursive
+     * bottoms out per-core; with more kernels than cores each core hosts a
+     * contiguous BFS run.
+     */
+    assign_recursive( all, ids, 0, topo, machine, adj, out );
+    return out;
+}
+
+std::size_t crossing_count( const topology &topo,
+                            const assignment &assign,
+                            const machine_desc &machine,
+                            const std::vector<unsigned> &group_of_core )
+{
+    (void) machine;
+    std::size_t cut = 0;
+    for( const auto &e : topo.edges() )
+    {
+        const auto a = topo.index_of( e.src );
+        const auto b = topo.index_of( e.dst );
+        if( a == b )
+        {
+            continue;
+        }
+        if( group_of_core[ assign.core_of[ a ] ] !=
+            group_of_core[ assign.core_of[ b ] ] )
+        {
+            ++cut;
+        }
+    }
+    return cut;
+}
+
+} /** end namespace raft::mapping **/

@@ -1,0 +1,42 @@
+/**
+ * partition.hpp — kernel-to-resource mapping (§4.1).
+ *
+ * "The initial mapping algorithm provided with RaftLib is a simple one
+ * (similar to a spanning tree) that attempts to place the fewest number of
+ * 'streams' over high latency connections (i.e., across physical compute
+ * cores or TCP links). It begins with a priority queue with the highest
+ * latency link getting the highest priority, finds the partition with the
+ * minimal number of links crossing it then proceeds to partition based on
+ * the next highest latency link for these two partitions. If no difference
+ * in latency exists (which can be the case if only a single socket core is
+ * used) then computation is shared evenly amongst the cores. No claim is
+ * made to optimality for this simple algorithm, however it is fast."
+ *
+ * Implementation: recursive bisection over the machine's latency hierarchy
+ * (node boundary → socket boundary → core boundary). At each level the
+ * kernel set is seeded in BFS order (pipelines stay contiguous) into parts
+ * proportional to resource capacity, then improved with a greedy
+ * Kernighan–Lin-style pass that moves single kernels while the crossing
+ * count drops.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "mapping/machine.hpp"
+
+namespace raft::mapping {
+
+/** Map every kernel of `topo` to a core of `machine`. */
+assignment partition( const topology &topo, const machine_desc &machine );
+
+/** Streams whose endpoints land on different values of `group_of_core`
+ *  (e.g., socket ids) — the quantity the partitioner minimizes. */
+std::size_t crossing_count( const topology &topo,
+                            const assignment &assign,
+                            const machine_desc &machine,
+                            const std::vector<unsigned> &group_of_core );
+
+} /** end namespace raft::mapping **/

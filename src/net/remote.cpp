@@ -1,0 +1,136 @@
+#include "net/remote.hpp"
+
+#include "core/exceptions.hpp"
+
+namespace raft::net {
+
+job_server::job_server() : listener_( 0 )
+{
+    accept_thread_ = std::thread( [ this ]() { accept_loop(); } );
+}
+
+job_server::~job_server() { stop(); }
+
+void job_server::register_job( const std::string &name,
+                               handler_t handler )
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    jobs_[ name ] = std::move( handler );
+}
+
+std::uint16_t job_server::port() const noexcept
+{
+    return listener_.port();
+}
+
+void job_server::stop()
+{
+    if( !running_.exchange( false ) )
+    {
+        return;
+    }
+    listener_.close();
+    if( accept_thread_.joinable() )
+    {
+        accept_thread_.join();
+    }
+    std::vector<std::thread> workers;
+    {
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        workers = std::move( workers_ );
+    }
+    for( auto &w : workers )
+    {
+        if( w.joinable() )
+        {
+            w.join();
+        }
+    }
+}
+
+void job_server::accept_loop()
+{
+    while( running_.load( std::memory_order_acquire ) )
+    {
+        std::shared_ptr<tcp_connection> conn;
+        try
+        {
+            conn = std::make_shared<tcp_connection>(
+                listener_.accept() );
+        }
+        catch( const net_exception & )
+        {
+            return; /** listener closed during stop() **/
+        }
+
+        /** read the job request header **/
+        handler_t handler;
+        try
+        {
+            std::uint16_t len = 0;
+            if( !conn->recv_all( &len, sizeof( len ) ) || len == 0 ||
+                len > 512 )
+            {
+                continue;
+            }
+            std::string name( len, '\0' );
+            if( !conn->recv_all( name.data(), len ) )
+            {
+                continue;
+            }
+            {
+                const std::lock_guard<std::mutex> lock( mutex_ );
+                const auto it = jobs_.find( name );
+                if( it != jobs_.end() )
+                {
+                    handler = it->second;
+                }
+            }
+            const std::uint8_t status = handler ? ack : nak;
+            conn->send_all( &status, 1 );
+            if( !handler )
+            {
+                continue;
+            }
+        }
+        catch( const net_exception & )
+        {
+            continue; /** malformed client: drop the connection **/
+        }
+
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        workers_.emplace_back(
+            [ this, handler = std::move( handler ), conn ]() mutable {
+                try
+                {
+                    handler( std::move( conn ) );
+                }
+                catch( ... )
+                {
+                    /** a failing job must not take the server down **/
+                }
+                served_.fetch_add( 1, std::memory_order_relaxed );
+            } );
+    }
+}
+
+std::shared_ptr<tcp_connection> request_job( const std::string &host,
+                                             const std::uint16_t port,
+                                             const std::string &name )
+{
+    auto conn = std::make_shared<tcp_connection>(
+        tcp_connection::connect( host, port ) );
+    const auto len = static_cast<std::uint16_t>( name.size() );
+    conn->send_all( &len, sizeof( len ) );
+    conn->send_all( name.data(), name.size() );
+    std::uint8_t status = 0;
+    if( !conn->recv_all( &status, 1 ) ||
+        status != job_server::ack )
+    {
+        throw net_exception( "job '" + name +
+                             "' not published by the server" );
+    }
+    return conn;
+}
+
+} /** end namespace raft::net **/

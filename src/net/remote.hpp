@@ -1,0 +1,85 @@
+/**
+ * remote.hpp — remote kernel execution over the oar fabric (§4.1).
+ *
+ * "The 'oar' system also provides a means to remotely compile and execute
+ * kernels so that a user can have a simple compile and forget
+ * experience." Remote *compilation* needs a toolchain service and is out
+ * of scope (DESIGN.md §7); remote *execution* is implemented here: a
+ * job_server publishes named streaming services — each a handler that
+ * builds and runs a raft::map around the accepted connection — and
+ * request_job() lets any node splice one of those services into its own
+ * graph as if it were a local kernel.
+ *
+ * Wire protocol: client sends [u16 name_len][name]; server answers one
+ * status byte (ACK/NAK) and, on ACK, hands the (full-duplex) connection
+ * to the job handler. With the shared-connection tcp_source/tcp_sink
+ * constructors, the handler's map reads requests from and writes results
+ * to the same socket.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace raft::net {
+
+class job_server
+{
+public:
+    /** Handler: runs the service over the accepted connection (usually
+     *  by executing a raft::map built around it); returns when the
+     *  client's stream ends. */
+    using handler_t =
+        std::function<void( std::shared_ptr<tcp_connection> )>;
+
+    static constexpr std::uint8_t ack = 0x06;
+    static constexpr std::uint8_t nak = 0x15;
+
+    job_server();
+    ~job_server();
+
+    job_server( const job_server & )            = delete;
+    job_server &operator=( const job_server & ) = delete;
+
+    /** Publish a named streaming service. */
+    void register_job( const std::string &name, handler_t handler );
+
+    std::uint16_t port() const noexcept;
+    std::size_t served() const noexcept
+    {
+        return served_.load( std::memory_order_relaxed );
+    }
+
+    void stop();
+
+private:
+    void accept_loop();
+
+    tcp_listener listener_;
+    mutable std::mutex mutex_;
+    std::map<std::string, handler_t> jobs_;
+    std::vector<std::thread> workers_;
+    std::thread accept_thread_;
+    std::atomic<bool> running_{ true };
+    std::atomic<std::size_t> served_{ 0 };
+};
+
+/**
+ * Connect to a job server and start the named service. Returns the
+ * full-duplex data connection on ACK; throws net_exception when the
+ * server does not publish the job.
+ */
+std::shared_ptr<tcp_connection> request_job( const std::string &host,
+                                             std::uint16_t port,
+                                             const std::string &name );
+
+} /** end namespace raft::net **/

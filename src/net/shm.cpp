@@ -1,0 +1,110 @@
+#include "net/shm.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace raft::net {
+
+namespace {
+
+[[noreturn]] void throw_errno( const std::string &what )
+{
+    throw net_exception( what + ": " +
+                         std::string( std::strerror( errno ) ) );
+}
+
+} /** end anonymous namespace **/
+
+shm_region shm_region::create( const std::string &name,
+                               const std::size_t bytes )
+{
+    const int fd =
+        ::shm_open( name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600 );
+    if( fd < 0 )
+    {
+        throw_errno( "shm_open(create) " + name );
+    }
+    if( ::ftruncate( fd, static_cast<off_t>( bytes ) ) != 0 )
+    {
+        ::close( fd );
+        ::shm_unlink( name.c_str() );
+        throw_errno( "ftruncate " + name );
+    }
+    void *addr = ::mmap( nullptr, bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, fd, 0 );
+    ::close( fd );
+    if( addr == MAP_FAILED )
+    {
+        ::shm_unlink( name.c_str() );
+        throw_errno( "mmap " + name );
+    }
+    shm_region r;
+    r.name_  = name;
+    r.addr_  = addr;
+    r.bytes_ = bytes;
+    r.owner_ = true;
+    return r;
+}
+
+shm_region shm_region::attach( const std::string &name,
+                               const std::size_t bytes )
+{
+    const int fd = ::shm_open( name.c_str(), O_RDWR, 0600 );
+    if( fd < 0 )
+    {
+        throw_errno( "shm_open(attach) " + name );
+    }
+    void *addr = ::mmap( nullptr, bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, fd, 0 );
+    ::close( fd );
+    if( addr == MAP_FAILED )
+    {
+        throw_errno( "mmap " + name );
+    }
+    shm_region r;
+    r.name_  = name;
+    r.addr_  = addr;
+    r.bytes_ = bytes;
+    r.owner_ = false;
+    return r;
+}
+
+shm_region::shm_region( shm_region &&other ) noexcept
+    : name_( std::move( other.name_ ) ),
+      addr_( std::exchange( other.addr_, nullptr ) ),
+      bytes_( std::exchange( other.bytes_, 0 ) ),
+      owner_( std::exchange( other.owner_, false ) )
+{
+}
+
+shm_region &shm_region::operator=( shm_region &&other ) noexcept
+{
+    if( this != &other )
+    {
+        this->~shm_region();
+        name_  = std::move( other.name_ );
+        addr_  = std::exchange( other.addr_, nullptr );
+        bytes_ = std::exchange( other.bytes_, 0 );
+        owner_ = std::exchange( other.owner_, false );
+    }
+    return *this;
+}
+
+shm_region::~shm_region()
+{
+    if( addr_ != nullptr )
+    {
+        ::munmap( addr_, bytes_ );
+    }
+    if( owner_ && !name_.empty() )
+    {
+        ::shm_unlink( name_.c_str() );
+    }
+}
+
+} /** end namespace raft::net **/

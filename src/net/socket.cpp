@@ -1,0 +1,197 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/exceptions.hpp"
+
+namespace raft::net {
+
+namespace {
+
+[[noreturn]] void throw_errno( const std::string &what )
+{
+    throw raft::net_exception( what + ": " +
+                               std::string( std::strerror( errno ) ) );
+}
+
+} /** end anonymous namespace **/
+
+/* ------------------------------------------------------------------ */
+/* tcp_connection                                                       */
+/* ------------------------------------------------------------------ */
+
+tcp_connection::~tcp_connection() { close(); }
+
+tcp_connection::tcp_connection( tcp_connection &&other ) noexcept
+    : fd_( std::exchange( other.fd_, -1 ) )
+{
+}
+
+tcp_connection &
+tcp_connection::operator=( tcp_connection &&other ) noexcept
+{
+    if( this != &other )
+    {
+        close();
+        fd_ = std::exchange( other.fd_, -1 );
+    }
+    return *this;
+}
+
+tcp_connection tcp_connection::connect( const std::string &host,
+                                        const std::uint16_t port )
+{
+    const int fd = ::socket( AF_INET, SOCK_STREAM, 0 );
+    if( fd < 0 )
+    {
+        throw_errno( "socket" );
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port   = htons( port );
+    if( ::inet_pton( AF_INET, host.c_str(), &addr.sin_addr ) != 1 )
+    {
+        ::close( fd );
+        throw raft::net_exception( "bad address: " + host );
+    }
+    if( ::connect( fd, reinterpret_cast<sockaddr *>( &addr ),
+                   sizeof( addr ) ) != 0 )
+    {
+        ::close( fd );
+        throw_errno( "connect " + host + ":" + std::to_string( port ) );
+    }
+    const int one = 1;
+    ::setsockopt( fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof( one ) );
+    return tcp_connection( fd );
+}
+
+void tcp_connection::send_all( const void *data, const std::size_t n )
+{
+    const auto *p  = static_cast<const char *>( data );
+    std::size_t off = 0;
+    while( off < n )
+    {
+        const auto k = ::send( fd_, p + off, n - off, MSG_NOSIGNAL );
+        if( k <= 0 )
+        {
+            throw_errno( "send" );
+        }
+        off += static_cast<std::size_t>( k );
+    }
+}
+
+bool tcp_connection::recv_all( void *data, const std::size_t n )
+{
+    auto *p         = static_cast<char *>( data );
+    std::size_t off = 0;
+    while( off < n )
+    {
+        const auto k = ::recv( fd_, p + off, n - off, 0 );
+        if( k == 0 )
+        {
+            if( off == 0 )
+            {
+                return false; /** clean EOF at message boundary **/
+            }
+            throw raft::net_exception( "peer closed mid-message" );
+        }
+        if( k < 0 )
+        {
+            throw_errno( "recv" );
+        }
+        off += static_cast<std::size_t>( k );
+    }
+    return true;
+}
+
+void tcp_connection::shutdown_write() noexcept
+{
+    if( fd_ >= 0 )
+    {
+        ::shutdown( fd_, SHUT_WR );
+    }
+}
+
+void tcp_connection::close() noexcept
+{
+    if( fd_ >= 0 )
+    {
+        /** wake any thread blocked in recv() before closing **/
+        ::shutdown( fd_, SHUT_RDWR );
+        ::close( fd_ );
+        fd_ = -1;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* tcp_listener                                                         */
+/* ------------------------------------------------------------------ */
+
+tcp_listener::tcp_listener( const std::uint16_t port )
+{
+    fd_ = ::socket( AF_INET, SOCK_STREAM, 0 );
+    if( fd_ < 0 )
+    {
+        throw_errno( "socket" );
+    }
+    const int one = 1;
+    ::setsockopt( fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof( one ) );
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port   = htons( port );
+    ::inet_pton( AF_INET, "127.0.0.1", &addr.sin_addr );
+    if( ::bind( fd_, reinterpret_cast<sockaddr *>( &addr ),
+                sizeof( addr ) ) != 0 )
+    {
+        ::close( fd_ );
+        throw_errno( "bind" );
+    }
+    if( ::listen( fd_, 16 ) != 0 )
+    {
+        ::close( fd_ );
+        throw_errno( "listen" );
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof( bound );
+    if( ::getsockname( fd_, reinterpret_cast<sockaddr *>( &bound ),
+                       &len ) == 0 )
+    {
+        port_ = ntohs( bound.sin_port );
+    }
+}
+
+tcp_listener::~tcp_listener() { close(); }
+
+tcp_connection tcp_listener::accept()
+{
+    const int fd = ::accept( fd_, nullptr, nullptr );
+    if( fd < 0 )
+    {
+        throw_errno( "accept" );
+    }
+    const int one = 1;
+    ::setsockopt( fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof( one ) );
+    return tcp_connection( fd );
+}
+
+void tcp_listener::close() noexcept
+{
+    if( fd_ >= 0 )
+    {
+        /** shutdown first: close() alone does not wake a thread blocked
+         *  in accept() on Linux **/
+        ::shutdown( fd_, SHUT_RDWR );
+        ::close( fd_ );
+        fd_ = -1;
+    }
+}
+
+} /** end namespace raft::net **/

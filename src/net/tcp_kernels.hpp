@@ -1,0 +1,256 @@
+/**
+ * tcp_kernels.hpp — kernels that extend a stream across a TCP link.
+ *
+ * "Stream processing also naturally lends itself to distributed (network)
+ * processing, where network links simply become part of the stream" (§1).
+ * A tcp_sink<T> on the producing node and a tcp_source<T> on the consuming
+ * node splice a typed stream over a socket; end-of-stream propagates as a
+ * framed EOF marker, so the remote application terminates exactly like a
+ * local one. Elements must be trivially copyable (the wire format is the
+ * in-memory representation; same-architecture nodes assumed — see
+ * DESIGN.md §7).
+ *
+ * Frame layout: 1 signal byte, then sizeof(T) payload bytes.
+ * EOF frame: signal byte 0xFF, no payload.
+ */
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/kernel.hpp"
+#include "net/codec.hpp"
+#include "net/socket.hpp"
+
+namespace raft::net {
+
+namespace detail {
+inline constexpr std::uint8_t eof_frame = 0xFF;
+} /** end namespace detail **/
+
+/** Terminal kernel on the sending node: forwards its input stream over a
+ *  connected socket. */
+template <class T> class tcp_sink : public kernel
+{
+    static_assert( std::is_trivially_copyable_v<T>,
+                   "TCP streams carry trivially copyable types" );
+
+public:
+    explicit tcp_sink( tcp_connection conn )
+        : tcp_sink( std::make_shared<tcp_connection>(
+              std::move( conn ) ) )
+    {
+    }
+
+    /** Shared-connection form: lets a tcp_source on the same socket's
+     *  read side coexist (full-duplex remote services, net/remote.hpp). */
+    explicit tcp_sink( std::shared_ptr<tcp_connection> conn )
+        : kernel(), conn_( std::move( conn ) )
+    {
+        input.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        T value{};
+        signal sig = none;
+        try
+        {
+            input[ "0" ].pop<T>( value, &sig );
+        }
+        catch( const closed_port_exception & )
+        {
+            const std::uint8_t frame = detail::eof_frame;
+            conn_->send_all( &frame, 1 );
+            conn_->shutdown_write();
+            throw; /** normal completion path **/
+        }
+        const auto frame = static_cast<std::uint8_t>( sig );
+        conn_->send_all( &frame, 1 );
+        conn_->send_all( &value, sizeof( T ) );
+        return raft::proceed;
+    }
+
+private:
+    std::shared_ptr<tcp_connection> conn_;
+};
+
+/** Source kernel on the receiving node: replays the remote stream. */
+template <class T> class tcp_source : public kernel
+{
+    static_assert( std::is_trivially_copyable_v<T>,
+                   "TCP streams carry trivially copyable types" );
+
+public:
+    explicit tcp_source( tcp_connection conn )
+        : tcp_source( std::make_shared<tcp_connection>(
+              std::move( conn ) ) )
+    {
+    }
+
+    explicit tcp_source( std::shared_ptr<tcp_connection> conn )
+        : kernel(), conn_( std::move( conn ) )
+    {
+        output.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        std::uint8_t frame = 0;
+        if( !conn_->recv_all( &frame, 1 ) ||
+            frame == detail::eof_frame )
+        {
+            return raft::stop;
+        }
+        T value{};
+        if( !conn_->recv_all( &value, sizeof( T ) ) )
+        {
+            return raft::stop;
+        }
+        output[ "0" ].push<T>( std::move( value ),
+                               static_cast<signal>( frame ) );
+        return raft::proceed;
+    }
+
+private:
+    std::shared_ptr<tcp_connection> conn_;
+};
+
+/**
+ * Batching + compressing variants (§4.2 future work: "link data
+ * compression"). The sink gathers up to `batch` elements (with their
+ * in-band signals), RLE-compresses the batch, and ships one frame:
+ *
+ *   [u32 element_count][u32 compressed_bytes][payload]
+ *
+ * element_count 0 marks end-of-stream. Struct padding and repeated
+ * payloads compress well; worst case costs one extra copy plus ≤ 2×
+ * frame size, still amortized by batching.
+ */
+template <class T> class tcp_sink_compressed : public kernel
+{
+    static_assert( std::is_trivially_copyable_v<T>,
+                   "TCP streams carry trivially copyable types" );
+
+public:
+    explicit tcp_sink_compressed( tcp_connection conn,
+                                  const std::size_t batch = 256 )
+        : kernel(), conn_( std::move( conn ) ),
+          batch_( batch == 0 ? 1 : batch )
+    {
+        input.addPort<T>( "0" );
+        values_.reserve( batch_ );
+        sigs_.reserve( batch_ );
+    }
+
+    kstatus run() override
+    {
+        T value{};
+        signal sig = none;
+        try
+        {
+            input[ "0" ].pop<T>( value, &sig );
+        }
+        catch( const closed_port_exception & )
+        {
+            flush();
+            const std::uint32_t eof[ 2 ] = { 0, 0 };
+            conn_.send_all( eof, sizeof( eof ) );
+            conn_.shutdown_write();
+            throw;
+        }
+        values_.push_back( value );
+        sigs_.push_back( sig );
+        if( values_.size() >= batch_ )
+        {
+            flush();
+        }
+        return raft::proceed;
+    }
+
+private:
+    void flush()
+    {
+        if( values_.empty() )
+        {
+            return;
+        }
+        const auto n = values_.size();
+        std::vector<std::uint8_t> raw( n * ( sizeof( T ) + 1 ) );
+        std::memcpy( raw.data(), values_.data(), n * sizeof( T ) );
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            raw[ n * sizeof( T ) + i ] =
+                static_cast<std::uint8_t>( sigs_[ i ] );
+        }
+        const auto packed = rle_compress( raw.data(), raw.size() );
+        const std::uint32_t header[ 2 ] = {
+            static_cast<std::uint32_t>( n ),
+            static_cast<std::uint32_t>( packed.size() )
+        };
+        conn_.send_all( header, sizeof( header ) );
+        conn_.send_all( packed.data(), packed.size() );
+        values_.clear();
+        sigs_.clear();
+    }
+
+    tcp_connection conn_;
+    std::size_t batch_;
+    std::vector<T> values_;
+    std::vector<signal> sigs_;
+};
+
+/** Receiving end of tcp_sink_compressed. */
+template <class T> class tcp_source_compressed : public kernel
+{
+    static_assert( std::is_trivially_copyable_v<T>,
+                   "TCP streams carry trivially copyable types" );
+
+public:
+    explicit tcp_source_compressed( tcp_connection conn )
+        : kernel(), conn_( std::move( conn ) )
+    {
+        output.addPort<T>( "0" );
+    }
+
+    kstatus run() override
+    {
+        std::uint32_t header[ 2 ] = { 0, 0 };
+        if( !conn_.recv_all( header, sizeof( header ) ) ||
+            header[ 0 ] == 0 )
+        {
+            return raft::stop;
+        }
+        const std::size_t n = header[ 0 ];
+        std::vector<std::uint8_t> packed( header[ 1 ] );
+        if( !conn_.recv_all( packed.data(), packed.size() ) )
+        {
+            return raft::stop;
+        }
+        const auto expect = n * ( sizeof( T ) + 1 );
+        const auto raw =
+            rle_decompress( packed.data(), packed.size(), expect );
+        if( raw.size() != expect )
+        {
+            throw net_exception( "compressed frame size mismatch" );
+        }
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            T value{};
+            std::memcpy( &value, raw.data() + i * sizeof( T ),
+                         sizeof( T ) );
+            output[ "0" ].push<T>(
+                std::move( value ),
+                static_cast<signal>( raw[ n * sizeof( T ) + i ] ) );
+        }
+        return raft::proceed;
+    }
+
+private:
+    tcp_connection conn_;
+};
+
+} /** end namespace raft::net **/

@@ -1,0 +1,297 @@
+#include "queueing/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "queueing/models.hpp"
+#include "sim/pipeline.hpp"
+
+namespace raft::queueing {
+
+namespace {
+
+/**
+ * Feature map: the reliable region ("both processes look Poisson") is a
+ * band around SCV = 1, which no linear boundary in raw feature space can
+ * carve out. Lifting with |SCV - 1| and squared departures makes the
+ * band linearly separable — the poor man's kernel trick, adequate here
+ * and dependency-free.
+ */
+std::vector<double> lift( const model_features &f )
+{
+    /** Allen–Cunneen: Lq ≈ Lq_{M/M/1} · (Ca² + Cs²)/2, so the M/M/1
+     *  model's log error is ≈ |log of that factor| — including the
+     *  cancellation cases (deterministic arrivals + bursty service)
+     *  where the factor returns to 1 and the model works again **/
+    const auto ac_factor = std::max(
+        ( f.arrival_scv + f.service_scv ) / 2.0, 0.05 );
+    const auto t   = std::abs( std::log( ac_factor ) );
+    const auto l2b = std::max( 1.0, f.log2_buffer );
+    return {
+        t,
+        f.rho * t,
+        /** blocking pressure: high utilization against a small buffer
+         *  invalidates the infinite-queue model **/
+        f.rho * f.rho / l2b,
+        f.rho,
+        1.0, /** bias as a constant feature **/
+    };
+}
+
+} /** end anonymous namespace **/
+
+std::vector<double>
+svm_classifier::standardize( const model_features &f ) const
+{
+    auto x = lift( f );
+    for( std::size_t j = 0; j < x.size(); ++j )
+    {
+        x[ j ] = ( x[ j ] - mean_[ j ] ) / stdev_[ j ];
+    }
+    return x;
+}
+
+void svm_classifier::train( const std::vector<model_features> &samples,
+                            const std::vector<int> &labels,
+                            const train_options &opt )
+{
+    const auto n = samples.size();
+    if( n == 0 || labels.size() != n )
+    {
+        throw std::invalid_argument( "svm: bad training set" );
+    }
+    std::vector<std::vector<double>> X;
+    X.reserve( n );
+    for( const auto &s : samples )
+    {
+        X.push_back( lift( s ) );
+    }
+    const auto d = X[ 0 ].size();
+
+    /** feature standardization from the training set **/
+    mean_.assign( d, 0.0 );
+    stdev_.assign( d, 0.0 );
+    for( const auto &x : X )
+    {
+        for( std::size_t j = 0; j < d; ++j )
+        {
+            mean_[ j ] += x[ j ];
+        }
+    }
+    for( auto &m : mean_ )
+    {
+        m /= static_cast<double>( n );
+    }
+    for( const auto &x : X )
+    {
+        for( std::size_t j = 0; j < d; ++j )
+        {
+            const auto dx = x[ j ] - mean_[ j ];
+            stdev_[ j ] += dx * dx;
+        }
+    }
+    for( std::size_t j = 0; j < d; ++j )
+    {
+        stdev_[ j ] =
+            std::sqrt( stdev_[ j ] / static_cast<double>( n ) );
+        if( stdev_[ j ] < 1e-9 )
+        {
+            /** constant feature (e.g. the bias column): pass through **/
+            stdev_[ j ] = 1.0;
+            mean_[ j ]  = 0.0;
+        }
+    }
+    for( auto &x : X )
+    {
+        for( std::size_t j = 0; j < d; ++j )
+        {
+            x[ j ] = ( x[ j ] - mean_[ j ] ) / stdev_[ j ];
+        }
+    }
+
+    /**
+     * Full-batch gradient descent on the class-balanced squared-hinge
+     * (L2-SVM) loss
+     *   L(w) = λ/2 ||w||² + (1/n) Σ cᵢ max(0, 1 - yᵢ w·xᵢ)²
+     * — smooth, so plain gradient descent converges without the margin
+     * oscillation the non-smooth hinge exhibits on tiny datasets.
+     * Deterministic (seed unused beyond API stability).
+     */
+    (void) opt.seed;
+    w_.assign( d, 0.0 );
+    b_ = 0.0;
+    /**
+     * Class-balanced sample weights: reliability datasets are heavily
+     * skewed toward "unreliable", and unweighted hinge loss then settles
+     * on the degenerate always-majority solution with every sample
+     * parked exactly on the margin.
+     */
+    std::size_t n_pos = 0;
+    for( const auto l : labels )
+    {
+        if( l > 0 )
+        {
+            ++n_pos;
+        }
+    }
+    const auto n_neg = n - n_pos;
+    if( n_pos == 0 || n_neg == 0 )
+    {
+        throw std::invalid_argument( "svm: need both classes" );
+    }
+    std::vector<double> sample_w( n );
+    for( std::size_t i = 0; i < n; ++i )
+    {
+        /** square-root balancing: enough pull to avoid the
+         *  always-majority degenerate solution, mild enough not to
+         *  let minority-class label noise dominate the boundary **/
+        sample_w[ i ] = std::sqrt(
+            static_cast<double>( n ) /
+            ( 2.0 * static_cast<double>( labels[ i ] > 0 ? n_pos
+                                                         : n_neg ) ) );
+    }
+    std::vector<double> grad( d );
+    for( std::size_t epoch = 0; epoch < opt.epochs; ++epoch )
+    {
+        const double eta =
+            0.05 / ( 1.0 + 0.001 * static_cast<double>( epoch ) );
+        for( std::size_t j = 0; j < d; ++j )
+        {
+            grad[ j ] = opt.lambda * w_[ j ];
+        }
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            const auto y  = static_cast<double>( labels[ i ] );
+            double margin = 0.0;
+            for( std::size_t j = 0; j < d; ++j )
+            {
+                margin += w_[ j ] * X[ i ][ j ];
+            }
+            const double slack = 1.0 - y * margin;
+            if( slack > 0.0 )
+            {
+                for( std::size_t j = 0; j < d; ++j )
+                {
+                    grad[ j ] -= 2.0 * slack * sample_w[ i ] * y *
+                                 X[ i ][ j ] /
+                                 static_cast<double>( n );
+                }
+            }
+        }
+        for( std::size_t j = 0; j < d; ++j )
+        {
+            w_[ j ] -= eta * grad[ j ];
+        }
+    }
+}
+
+double svm_classifier::decision( const model_features &f ) const
+{
+    const auto x = standardize( f );
+    double m     = b_;
+    for( std::size_t j = 0; j < x.size(); ++j )
+    {
+        m += w_[ j ] * x[ j ];
+    }
+    return m;
+}
+
+int svm_classifier::predict( const model_features &f ) const
+{
+    return decision( f ) >= 0.0 ? +1 : -1;
+}
+
+double
+svm_classifier::accuracy( const std::vector<model_features> &samples,
+                          const std::vector<int> &labels ) const
+{
+    std::size_t hit = 0;
+    for( std::size_t i = 0; i < samples.size(); ++i )
+    {
+        if( predict( samples[ i ] ) == labels[ i ] )
+        {
+            ++hit;
+        }
+    }
+    return samples.empty()
+               ? 0.0
+               : static_cast<double>( hit ) /
+                     static_cast<double>( samples.size() );
+}
+
+std::vector<reliability_sample>
+make_reliability_dataset( const dataset_options &opt )
+{
+    using sim::service_dist;
+    const service_dist dists[] = {
+        service_dist::deterministic, service_dist::uniform,
+        service_dist::exponential, service_dist::hyperexponential
+    };
+    const double rhos[]          = { 0.3, 0.5, 0.7, 0.85, 0.95 };
+    const std::size_t buffers[]  = { 16, 4096 };
+
+    std::vector<reliability_sample> out;
+    std::uint64_t seed = opt.seed;
+    for( const auto arrival : dists )
+    {
+        for( const auto service : dists )
+        {
+            for( const auto rho : rhos )
+            {
+                for( const auto buf : buffers )
+                {
+                    sim::pipeline_desc d;
+                    d.stages.push_back( sim::stage_desc{
+                        "src", rho, 1, 1, arrival, false } );
+                    d.stages.push_back( sim::stage_desc{
+                        "srv", 1.0, 1, buf, service, false } );
+                    d.items = opt.items_per_run;
+                    d.seed  = seed++;
+                    const auto r = sim::simulate_pipeline( d );
+
+                    reliability_sample s;
+                    s.features.rho         = rho;
+                    s.features.arrival_scv = sim::service_scv( arrival );
+                    s.features.service_scv = sim::service_scv( service );
+                    s.features.log2_buffer =
+                        std::log2( static_cast<double>( buf ) );
+                    s.model_lq =
+                        rho * rho / ( 1.0 - rho ); /** M/M/1 Lq **/
+                    s.sim_lq = r.stages[ 1 ].mean_queue_len;
+                    /** reliable when the prediction is close in
+                     *  relative terms OR the absolute miss is too
+                     *  small to matter for sizing decisions **/
+                    const auto abs_err =
+                        std::abs( s.model_lq - s.sim_lq );
+                    const auto rel_err =
+                        abs_err / std::max( s.sim_lq, 1e-9 );
+                    s.label = ( rel_err <= opt.tolerance ||
+                                abs_err <= 0.15 )
+                                  ? +1
+                                  : -1;
+                    out.push_back( s );
+                }
+            }
+        }
+    }
+    return out;
+}
+
+svm_classifier
+train_reliability_classifier( const dataset_options &opt )
+{
+    const auto data = make_reliability_dataset( opt );
+    std::vector<model_features> X;
+    std::vector<int> y;
+    for( const auto &s : data )
+    {
+        X.push_back( s.features );
+        y.push_back( s.label );
+    }
+    svm_classifier clf;
+    clf.train( X, y );
+    return clf;
+}
+
+} /** end namespace raft::queueing **/

@@ -1,0 +1,112 @@
+/**
+ * classifier.hpp — automated reliability classification of queueing
+ * models.
+ *
+ * The paper's future-work section points at "fast automatic model
+ * selection (e.g., Beard et al. [10])" — ICPE'15's SVM classifier that
+ * predicts whether a cheap analytic queueing model is trustworthy for a
+ * given stream before the runtime acts on its predictions. This module
+ * implements that pipeline end to end:
+ *
+ *  1. a soft-margin linear SVM trained with the Pegasos
+ *     stochastic-subgradient method (implemented from scratch — no
+ *     external ML dependency),
+ *  2. a dataset generator that sweeps (utilization, arrival SCV, service
+ *     SCV, buffer size) scenarios through the discrete-event simulator
+ *     and labels each by whether the M/M/1 prediction of mean queue
+ *     length lands within a tolerance of the simulated truth,
+ *  3. train_reliability_classifier(): the packaged result the runtime
+ *     (or a researcher) can query with live stream features.
+ *
+ * The learned boundary recovers the queueing-theory ground truth: M/M/1
+ * is reliable near SCV ≈ 1 on both processes and increasingly unreliable
+ * as either SCV departs from 1 (deterministic or bursty traffic) — which
+ * is exactly what the ICPE paper's SVM learns from measurements.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace raft::queueing {
+
+/** Features describing one stream/station scenario. */
+struct model_features
+{
+    double rho{ 0.5 };         /**< utilization λ/μ                  */
+    double arrival_scv{ 1.0 }; /**< squared CV of inter-arrivals     */
+    double service_scv{ 1.0 }; /**< squared CV of service times      */
+    double log2_buffer{ 8.0 }; /**< log2 of the buffer capacity      */
+};
+
+struct svm_train_options
+{
+    std::size_t epochs{ 4000 };
+    double lambda{ 1e-4 };
+    std::uint64_t seed{ 0x5EED };
+};
+
+/** Linear soft-margin SVM (Pegasos). Features are standardized
+ *  internally from the training set. */
+class svm_classifier
+{
+public:
+    using train_options = svm_train_options;
+
+    /** labels: +1 / -1. */
+    void train( const std::vector<model_features> &samples,
+                const std::vector<int> &labels,
+                const train_options &opt = {} );
+
+    /** +1 / -1 prediction. */
+    int predict( const model_features &f ) const;
+
+    /** Signed distance to the separating hyperplane (margin). */
+    double decision( const model_features &f ) const;
+
+    /** Fraction correctly classified. */
+    double accuracy( const std::vector<model_features> &samples,
+                     const std::vector<int> &labels ) const;
+
+    const std::vector<double> &weights() const noexcept { return w_; }
+    double bias() const noexcept { return b_; }
+    bool trained() const noexcept { return !w_.empty(); }
+
+private:
+    std::vector<double> standardize( const model_features &f ) const;
+
+    std::vector<double> w_;
+    double b_{ 0.0 };
+    std::vector<double> mean_;
+    std::vector<double> stdev_;
+};
+
+/** One labelled scenario: features + whether M/M/1 was reliable. */
+struct reliability_sample
+{
+    model_features features;
+    int label{ +1 };          /**< +1 reliable, -1 unreliable        */
+    double model_lq{ 0.0 };   /**< M/M/1 predicted mean queue length */
+    double sim_lq{ 0.0 };     /**< DES ground truth                  */
+};
+
+struct dataset_options
+{
+    /** relative error above which the model is labelled unreliable
+     *  (an absolute-error floor of 0.15 queue slots also applies:
+     *  sub-slot misses never matter for sizing decisions) */
+    double tolerance{ 0.35 };
+    std::uint64_t items_per_run{ 30'000 };
+    std::uint64_t seed{ 0xDA7A };
+};
+
+/** Sweep scenarios through the DES and label M/M/1 reliability. */
+std::vector<reliability_sample>
+make_reliability_dataset( const dataset_options &opt = {} );
+
+/** Dataset generation + training, packaged. */
+svm_classifier train_reliability_classifier(
+    const dataset_options &opt = {} );
+
+} /** end namespace raft::queueing **/

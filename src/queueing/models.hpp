@@ -1,0 +1,166 @@
+/**
+ * models.hpp — queueing models for streaming systems (§3).
+ *
+ * "Streaming systems can be modeled as queueing networks. Each stream
+ * within the system is a queue... Queueing models are often the fastest way
+ * to estimate an approximate queue size... Model based solutions are also
+ * often straightforward to calculate, assuming the conditions are right for
+ * considering each queue individually (e.g., the queueing network is of
+ * product form)."
+ *
+ * Closed-form results for M/M/1 and M/M/1/K service stations, plus the
+ * product-form (Jackson) decomposition used by the buffer-sizing search and
+ * validated against the discrete-event simulator in tests and the
+ * ab_queueing_model bench.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace raft::queueing {
+
+/** Utilization ρ = λ/μ. */
+inline double utilization( const double lambda, const double mu )
+{
+    if( mu <= 0.0 )
+    {
+        throw std::invalid_argument( "service rate must be positive" );
+    }
+    return lambda / mu;
+}
+
+/** M/M/1 steady-state results (require ρ < 1). */
+struct mm1
+{
+    double lambda; /**< arrival rate  */
+    double mu;     /**< service rate  */
+
+    double rho() const { return utilization( lambda, mu ); }
+
+    /** Mean number in system L = ρ / (1 - ρ). */
+    double mean_in_system() const
+    {
+        const auto r = rho();
+        if( r >= 1.0 )
+        {
+            throw std::domain_error( "M/M/1 unstable: rho >= 1" );
+        }
+        return r / ( 1.0 - r );
+    }
+
+    /** Mean queue length (excluding in service) Lq = ρ² / (1 - ρ). */
+    double mean_in_queue() const
+    {
+        const auto r = rho();
+        if( r >= 1.0 )
+        {
+            throw std::domain_error( "M/M/1 unstable: rho >= 1" );
+        }
+        return r * r / ( 1.0 - r );
+    }
+
+    /** Mean time in system W = 1 / (μ - λ). */
+    double mean_sojourn() const
+    {
+        if( rho() >= 1.0 )
+        {
+            throw std::domain_error( "M/M/1 unstable: rho >= 1" );
+        }
+        return 1.0 / ( mu - lambda );
+    }
+
+    /** P[N = n] = (1-ρ) ρⁿ. */
+    double p_n( const std::size_t n ) const
+    {
+        const auto r = rho();
+        return ( 1.0 - r ) * std::pow( r, static_cast<double>( n ) );
+    }
+};
+
+/** M/M/1/K: finite buffer of K (including the element in service). */
+struct mm1k
+{
+    double lambda;
+    double mu;
+    std::size_t K;
+
+    double rho() const { return utilization( lambda, mu ); }
+
+    /** Blocking probability P[N = K] — the chance an arrival is lost /
+     *  the producer stalls. */
+    double blocking_probability() const
+    {
+        const auto r = rho();
+        const auto k = static_cast<double>( K );
+        if( std::abs( r - 1.0 ) < 1e-12 )
+        {
+            return 1.0 / ( k + 1.0 );
+        }
+        return ( 1.0 - r ) * std::pow( r, k ) /
+               ( 1.0 - std::pow( r, k + 1.0 ) );
+    }
+
+    /** Effective throughput λ(1 - P_block). */
+    double throughput() const
+    {
+        return lambda * ( 1.0 - blocking_probability() );
+    }
+
+    /** Mean number in system. */
+    double mean_in_system() const
+    {
+        const auto r = rho();
+        const auto k = static_cast<double>( K );
+        if( std::abs( r - 1.0 ) < 1e-12 )
+        {
+            return k / 2.0;
+        }
+        const auto num = r * ( 1.0 - ( k + 1.0 ) * std::pow( r, k ) +
+                               k * std::pow( r, k + 1.0 ) );
+        const auto den =
+            ( 1.0 - r ) * ( 1.0 - std::pow( r, k + 1.0 ) );
+        return num / den;
+    }
+};
+
+/**
+ * Smallest buffer K such that the M/M/1/K blocking probability is below
+ * `target` — the model-based buffer-sizing answer (§3's "model based
+ * solutions"). Caps at `max_k`.
+ */
+inline std::size_t size_buffer_for_blocking( const double lambda,
+                                             const double mu,
+                                             const double target,
+                                             const std::size_t max_k = 1u
+                                                                       << 24 )
+{
+    std::size_t lo = 1, hi = 1;
+    /** exponential search then bisection (blocking is decreasing in K) **/
+    while( hi < max_k &&
+           mm1k{ lambda, mu, hi }.blocking_probability() > target )
+    {
+        hi *= 2;
+    }
+    if( hi >= max_k )
+    {
+        return max_k;
+    }
+    lo = hi / 2 + 1;
+    while( lo < hi )
+    {
+        const auto mid = lo + ( hi - lo ) / 2;
+        if( mm1k{ lambda, mu, mid }.blocking_probability() > target )
+        {
+            lo = mid + 1;
+        }
+        else
+        {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+} /** end namespace raft::queueing **/

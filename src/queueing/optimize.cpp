@@ -1,0 +1,194 @@
+#include "queueing/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace raft::queueing {
+
+std::vector<std::size_t> size_ladder( const optimize_options &opt )
+{
+    if( opt.min_size == 0 || opt.max_size < opt.min_size )
+    {
+        throw std::invalid_argument( "invalid size ladder bounds" );
+    }
+    std::vector<std::size_t> ladder;
+    for( std::size_t s = opt.min_size; s <= opt.max_size; s *= 2 )
+    {
+        ladder.push_back( s );
+        if( s > opt.max_size / 2 )
+        {
+            break;
+        }
+    }
+    return ladder;
+}
+
+namespace {
+
+void bnb_recurse( const std::size_t idx,
+                  std::vector<std::size_t> &current,
+                  std::size_t used,
+                  const std::vector<std::size_t> &ladder,
+                  const objective_fn &objective,
+                  const optimize_options &opt,
+                  const bool monotone,
+                  optimize_result &best )
+{
+    const auto n = current.size();
+    if( idx == n )
+    {
+        const auto cost = objective( current );
+        ++best.evaluations;
+        if( cost < best.cost )
+        {
+            best.cost  = cost;
+            best.sizes = current;
+        }
+        return;
+    }
+    /**
+     * Optimistic bound under monotonicity: complete the assignment with
+     * the largest admissible sizes; if even that cannot beat the best,
+     * prune the whole subtree.
+     */
+    if( monotone &&
+        best.cost < std::numeric_limits<double>::infinity() )
+    {
+        auto relaxed = current;
+        for( std::size_t i = idx; i < n; ++i )
+        {
+            relaxed[ i ] = ladder.back();
+        }
+        const auto bound = objective( relaxed );
+        ++best.evaluations;
+        if( bound >= best.cost )
+        {
+            return;
+        }
+    }
+    for( const auto s : ladder )
+    {
+        if( opt.budget_elements != 0 &&
+            used + s > opt.budget_elements )
+        {
+            break; /** ladder ascends; everything further busts too **/
+        }
+        current[ idx ] = s;
+        bnb_recurse( idx + 1, current, used + s, ladder, objective, opt,
+                     monotone, best );
+    }
+    current[ idx ] = ladder.front();
+}
+
+} /** end anonymous namespace **/
+
+optimize_result branch_and_bound( const std::size_t n_queues,
+                                  const objective_fn &objective,
+                                  const optimize_options &opt,
+                                  const bool monotone )
+{
+    const auto ladder = size_ladder( opt );
+    optimize_result best;
+    std::vector<std::size_t> current( n_queues, ladder.front() );
+    bnb_recurse( 0, current, 0, ladder, objective, opt, monotone, best );
+    if( best.sizes.empty() )
+    {
+        throw std::runtime_error(
+            "branch_and_bound: no feasible configuration under budget" );
+    }
+    return best;
+}
+
+optimize_result simulated_annealing( const std::size_t n_queues,
+                                     const objective_fn &objective,
+                                     const optimize_options &opt,
+                                     const annealing_options &ann )
+{
+    const auto ladder = size_ladder( opt );
+    std::mt19937_64 eng( ann.seed );
+    std::uniform_int_distribution<std::size_t> pick_queue( 0,
+                                                           n_queues - 1 );
+    std::uniform_int_distribution<int> pick_dir( 0, 1 );
+    std::uniform_real_distribution<double> unit( 0.0, 1.0 );
+
+    /** rung index per queue; start mid-ladder **/
+    std::vector<std::size_t> rung( n_queues, ladder.size() / 2 );
+    auto materialize = [ & ]( const std::vector<std::size_t> &r ) {
+        std::vector<std::size_t> sizes( n_queues );
+        for( std::size_t i = 0; i < n_queues; ++i )
+        {
+            sizes[ i ] = ladder[ r[ i ] ];
+        }
+        return sizes;
+    };
+    auto within_budget = [ & ]( const std::vector<std::size_t> &sizes ) {
+        if( opt.budget_elements == 0 )
+        {
+            return true;
+        }
+        const auto total = std::accumulate( sizes.begin(), sizes.end(),
+                                            std::size_t{ 0 } );
+        return total <= opt.budget_elements;
+    };
+
+    optimize_result best;
+    auto sizes = materialize( rung );
+    while( !within_budget( sizes ) )
+    {
+        /** walk down until feasible **/
+        for( auto &r : rung )
+        {
+            if( r > 0 )
+            {
+                --r;
+            }
+        }
+        sizes = materialize( rung );
+    }
+    double cost = objective( sizes );
+    ++best.evaluations;
+    best.cost  = cost;
+    best.sizes = sizes;
+
+    double temp = ann.initial_temperature;
+    for( std::size_t it = 0; it < ann.iterations; ++it )
+    {
+        auto cand       = rung;
+        const auto q    = pick_queue( eng );
+        const int dir   = pick_dir( eng ) == 0 ? -1 : 1;
+        if( dir < 0 && cand[ q ] == 0 )
+        {
+            continue;
+        }
+        if( dir > 0 && cand[ q ] + 1 >= ladder.size() )
+        {
+            continue;
+        }
+        cand[ q ] = static_cast<std::size_t>(
+            static_cast<long>( cand[ q ] ) + dir );
+        const auto cand_sizes = materialize( cand );
+        if( !within_budget( cand_sizes ) )
+        {
+            continue;
+        }
+        const auto cand_cost = objective( cand_sizes );
+        ++best.evaluations;
+        const auto delta = cand_cost - cost;
+        if( delta <= 0.0 ||
+            unit( eng ) < std::exp( -delta / std::max( temp, 1e-12 ) ) )
+        {
+            rung = cand;
+            cost = cand_cost;
+            if( cost < best.cost )
+            {
+                best.cost  = cost;
+                best.sizes = cand_sizes;
+            }
+        }
+        temp *= ann.cooling;
+    }
+    return best;
+}
+
+} /** end namespace raft::queueing **/

@@ -1,0 +1,81 @@
+/**
+ * optimize.hpp — buffer-size optimization (§3/§4.1).
+ *
+ * "In general, two options are available for determining how large of a
+ * buffer to allocate: branch and bound search or analytic modeling." and
+ * "The flow-model approximation procedure can be combined with well known
+ * optimization techniques such as simulated annealing or analytic
+ * decomposition to continually optimize long-running high throughput
+ * streaming applications."
+ *
+ * Both optimizers work over a vector of per-queue sizes drawn from a
+ * discrete ladder (powers of two between min and max) and minimize an
+ * arbitrary objective — predicted execution time from a queueing model, a
+ * DES evaluation, or a live measurement.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace raft::queueing {
+
+/** Objective: cost of a configuration (lower is better). */
+using objective_fn =
+    std::function<double( const std::vector<std::size_t> & )>;
+
+struct optimize_options
+{
+    std::size_t min_size{ 2 };
+    std::size_t max_size{ 1u << 20 };
+    /** Total memory budget over all queues, in elements (0 = unlimited). */
+    std::size_t budget_elements{ 0 };
+};
+
+struct optimize_result
+{
+    std::vector<std::size_t> sizes;
+    double cost{ std::numeric_limits<double>::infinity() };
+    std::size_t evaluations{ 0 };
+};
+
+/** Size ladder: min, 2·min, …, max (powers of two). */
+std::vector<std::size_t> size_ladder( const optimize_options &opt );
+
+/**
+ * Exhaustive depth-first branch-and-bound over the ladder. Prunes branches
+ * that exceed the memory budget; when `monotone` is set (objective
+ * non-increasing in every queue size — true of pure blocking/stall
+ * objectives) it additionally bounds with the everything-maxed completion.
+ * Exact for small queue counts; exponential in general, as the paper
+ * concedes ("Branch and bound searching has the advantage of being
+ * extremely simple, and eventually finds some reasonable condition").
+ */
+optimize_result branch_and_bound( std::size_t n_queues,
+                                  const objective_fn &objective,
+                                  const optimize_options &opt,
+                                  bool monotone = false );
+
+struct annealing_options
+{
+    std::size_t iterations{ 2000 };
+    double initial_temperature{ 1.0 };
+    double cooling{ 0.995 };
+    std::uint64_t seed{ 0xA11EA1ED };
+};
+
+/**
+ * Simulated annealing: random single-queue moves along the ladder,
+ * accepting uphill moves with Boltzmann probability. Scales to large queue
+ * counts where branch-and-bound cannot.
+ */
+optimize_result simulated_annealing( std::size_t n_queues,
+                                     const objective_fn &objective,
+                                     const optimize_options &opt,
+                                     const annealing_options &ann = {} );
+
+} /** end namespace raft::queueing **/

@@ -1,0 +1,44 @@
+/**
+ * raft.hpp — umbrella header for the RaftLib reproduction.
+ *
+ *   #include <raft.hpp>   // or "raft.hpp" with src/ on the include path
+ *
+ * Pulls in the full public API: kernels, ports, streams, the map, the
+ * standard kernel library, options and statistics. Substrate libraries
+ * (queueing models, mapping, net, simulator, baselines) have their own
+ * headers under queueing/, mapping/, net/, sim/ and baselines/.
+ */
+#pragma once
+
+#include "core/defs.hpp"
+#include "core/exceptions.hpp"
+#include "core/fifo.hpp"
+#include "core/graph.hpp"
+#include "core/kernel.hpp"
+#include "core/kstatus.hpp"
+#include "core/map.hpp"
+#include "core/monitor.hpp"
+#include "core/options.hpp"
+#include "core/parallel.hpp"
+#include "core/port.hpp"
+#include "core/ringbuffer.hpp"
+#include "core/scheduler.hpp"
+#include "core/signal.hpp"
+#include "core/split_strategy.hpp"
+
+#include "core/kernels/filereader.hpp"
+#include "core/kernels/for_each.hpp"
+#include "core/kernels/functional.hpp"
+#include "core/kernels/generate.hpp"
+#include "core/kernels/lambdak.hpp"
+#include "core/kernels/print.hpp"
+#include "core/kernels/read_each.hpp"
+#include "core/kernels/reduce.hpp"
+#include "core/kernels/reorder.hpp"
+#include "core/kernels/search.hpp"
+#include "core/kernels/segment.hpp"
+#include "core/kernels/sum.hpp"
+#include "core/kernels/synonym.hpp"
+#include "core/kernels/write_each.hpp"
+
+#include "runtime/stats.hpp"

@@ -1,0 +1,130 @@
+/**
+ * stats.hpp — performance-monitoring data model (§4.1: "the user has access
+ * to monitor useful things such as queue size, current kernel configuration
+ * ... mean queue occupancy, service rate, throughput, queue occupancy
+ * histograms").
+ *
+ * The monitor thread (core/monitor.hpp) samples every stream at its δ tick
+ * and accumulates into these structures; map::exe() returns a perf_snapshot
+ * through run_options::stats_out. Collection is deliberately cheap: per
+ * sample, one occupancy load and one histogram bucket increment per stream
+ * (the low-impact design the TimeTrial line of work argues for).
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raft::runtime {
+
+/** Fixed-bucket histogram over queue occupancy as a fraction of capacity. */
+class occupancy_histogram
+{
+public:
+    static constexpr std::size_t bucket_count = 10;
+
+    void add( const double fraction ) noexcept
+    {
+        auto b = static_cast<std::size_t>( fraction * bucket_count );
+        if( b >= bucket_count )
+        {
+            b = bucket_count - 1;
+        }
+        ++buckets_[ b ];
+        ++total_;
+    }
+
+    std::uint64_t bucket( const std::size_t i ) const noexcept
+    {
+        return buckets_[ i ];
+    }
+
+    std::uint64_t total() const noexcept { return total_; }
+
+    /** Fraction of samples in bucket i (0 if empty histogram). */
+    double fraction( const std::size_t i ) const noexcept
+    {
+        return total_ == 0
+                   ? 0.0
+                   : static_cast<double>( buckets_[ i ] ) /
+                         static_cast<double>( total_ );
+    }
+
+    void merge( const occupancy_histogram &o ) noexcept
+    {
+        for( std::size_t i = 0; i < bucket_count; ++i )
+        {
+            buckets_[ i ] += o.buckets_[ i ];
+        }
+        total_ += o.total_;
+    }
+
+private:
+    std::array<std::uint64_t, bucket_count> buckets_{};
+    std::uint64_t total_{ 0 };
+};
+
+/** Per-stream statistics over one application run. */
+struct stream_stats
+{
+    std::string src_kernel;
+    std::string dst_kernel;
+    std::string src_port;
+    std::string dst_port;
+    std::string type_name;
+
+    std::uint64_t pushed{ 0 };
+    std::uint64_t popped{ 0 };
+    std::size_t element_size{ 0 };
+    std::size_t initial_capacity{ 0 };
+    std::size_t final_capacity{ 0 };
+    std::size_t resize_count{ 0 };
+
+    std::uint64_t samples{ 0 };
+    double mean_occupancy{ 0.0 };      /**< items, averaged over samples   */
+    double mean_utilization{ 0.0 };    /**< occupancy / capacity           */
+    occupancy_histogram occupancy;
+
+    double service_rate_hz{ 0.0 };     /**< pops per wall second           */
+    double arrival_rate_hz{ 0.0 };     /**< pushes per wall second         */
+    double throughput_bytes_per_s{ 0.0 };
+};
+
+/** Whole-application monitoring snapshot returned by map::exe(). */
+struct perf_snapshot
+{
+    std::vector<stream_stats> streams;
+    double wall_seconds{ 0.0 };
+    std::uint64_t monitor_ticks{ 0 };
+
+    /** First stream whose endpoints contain the given substrings. */
+    const stream_stats *find( const std::string &src_contains,
+                              const std::string &dst_contains ) const
+    {
+        for( const auto &s : streams )
+        {
+            if( s.src_kernel.find( src_contains ) != std::string::npos &&
+                s.dst_kernel.find( dst_contains ) != std::string::npos )
+            {
+                return &s;
+            }
+        }
+        return nullptr;
+    }
+
+    double total_bytes_moved() const
+    {
+        double sum = 0.0;
+        for( const auto &s : streams )
+        {
+            sum += static_cast<double>( s.popped ) *
+                   static_cast<double>( s.element_size );
+        }
+        return sum;
+    }
+};
+
+} /** end namespace raft::runtime **/

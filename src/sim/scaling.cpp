@@ -1,0 +1,279 @@
+#include "sim/scaling.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#if defined( __unix__ )
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "algo/strmatch.hpp"
+
+namespace raft::sim {
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point &t0 )
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0 )
+        .count();
+}
+
+/** Time a matcher over the corpus; returns bytes/s. */
+double measure_matcher( const algo::matcher &m, const std::string &corpus )
+{
+    /** warm-up pass, then timed passes until >= 50 ms accumulated **/
+    volatile std::uint64_t sink =
+        m.count( corpus.data(), std::min<std::size_t>( corpus.size(),
+                                                       1u << 16 ) );
+    (void) sink;
+    double elapsed   = 0.0;
+    std::size_t reps = 0;
+    const auto t0    = std::chrono::steady_clock::now();
+    do
+    {
+        sink    = m.count( corpus.data(), corpus.size() );
+        elapsed = seconds_since( t0 );
+        ++reps;
+    } while( elapsed < 0.05 );
+    return static_cast<double>( corpus.size() ) *
+           static_cast<double>( reps ) / elapsed;
+}
+
+double measure_mem_bw()
+{
+    const std::size_t n = 32u << 20; /** 32 MiB **/
+    std::vector<std::uint64_t> buf( n / sizeof( std::uint64_t ), 1 );
+    volatile std::uint64_t sink = 0;
+    /** warm **/
+    sink = std::accumulate( buf.begin(), buf.end(), std::uint64_t{ 0 } );
+    double elapsed   = 0.0;
+    std::size_t reps = 0;
+    const auto t0    = std::chrono::steady_clock::now();
+    do
+    {
+        sink = sink + std::accumulate( buf.begin(), buf.end(),
+                                       std::uint64_t{ 0 } );
+        elapsed = seconds_since( t0 );
+        ++reps;
+    } while( elapsed < 0.1 );
+    (void) sink;
+    return static_cast<double>( n ) * static_cast<double>( reps ) /
+           elapsed;
+}
+
+double measure_thread_spawn()
+{
+    constexpr int reps = 64;
+    const auto t0      = std::chrono::steady_clock::now();
+    for( int i = 0; i < reps; ++i )
+    {
+        std::thread t( []() {} );
+        t.join();
+    }
+    return seconds_since( t0 ) / reps;
+}
+
+double measure_process_spawn()
+{
+#if defined( __unix__ )
+    constexpr int reps = 16;
+    const auto t0      = std::chrono::steady_clock::now();
+    for( int i = 0; i < reps; ++i )
+    {
+        const pid_t pid = fork();
+        if( pid == 0 )
+        {
+            _exit( 0 );
+        }
+        if( pid > 0 )
+        {
+            int status = 0;
+            waitpid( pid, &status, 0 );
+        }
+    }
+    return seconds_since( t0 ) / reps;
+#else
+    return 0.002;
+#endif
+}
+
+double measure_pipe_bw()
+{
+#if defined( __unix__ )
+    int fds[ 2 ];
+    if( pipe( fds ) != 0 )
+    {
+        return 1e9;
+    }
+    constexpr std::size_t total = 32u << 20;
+    constexpr std::size_t chunk = 64u << 10;
+    std::vector<char> wbuf( chunk, 'x' ), rbuf( chunk );
+    const auto t0 = std::chrono::steady_clock::now();
+    std::thread writer( [ & ]() {
+        std::size_t sent = 0;
+        while( sent < total )
+        {
+            const auto k = write( fds[ 1 ], wbuf.data(), chunk );
+            if( k <= 0 )
+            {
+                break;
+            }
+            sent += static_cast<std::size_t>( k );
+        }
+        close( fds[ 1 ] );
+    } );
+    std::size_t got = 0;
+    for( ;; )
+    {
+        const auto k = read( fds[ 0 ], rbuf.data(), chunk );
+        if( k <= 0 )
+        {
+            break;
+        }
+        got += static_cast<std::size_t>( k );
+    }
+    writer.join();
+    close( fds[ 0 ] );
+    const auto dt = seconds_since( t0 );
+    /** the distributor both reads stdin and writes the pipe: halve **/
+    return dt > 0.0 ? static_cast<double>( got ) / dt / 2.0 : 1e9;
+#else
+    return 1e9;
+#endif
+}
+
+} /** end anonymous namespace **/
+
+calibration calibrate( const std::string &corpus,
+                       const std::string &pattern )
+{
+    calibration c;
+    c.memchr_bps = measure_matcher( algo::memchr_matcher( pattern ),
+                                    corpus );
+    c.ac_bps  = measure_matcher( algo::aho_corasick_matcher( pattern ),
+                                 corpus );
+    c.bmh_bps = measure_matcher( algo::bmh_matcher( pattern ), corpus );
+    c.bm_bps  = measure_matcher( algo::bm_matcher( pattern ), corpus );
+    c.mem_bw_bps      = measure_mem_bw();
+    c.thread_spawn_s  = measure_thread_spawn();
+    c.process_spawn_s = measure_process_spawn();
+    c.pipe_bw_bps     = measure_pipe_bw();
+    return c;
+}
+
+std::vector<scaling_point> model_pgrep( const calibration &c,
+                                        const double file_bytes,
+                                        const unsigned max_cores )
+{
+    std::vector<scaling_point> out;
+    const auto block = c.parallel_block_bytes;
+    const auto items =
+        static_cast<std::uint64_t>( std::max( 1.0, file_bytes / block ) );
+    for( unsigned n = 1; n <= max_cores; ++n )
+    {
+        pipeline_desc d;
+        /** stage 0: the GNU Parallel parent — reads stdin, chops blocks,
+         *  writes each down a worker pipe. Single-threaded. */
+        const double distribute_bps =
+            std::min( c.pipe_bw_bps, c.parallel_split_bps );
+        d.stages.push_back( stage_desc{
+            "distribute", distribute_bps / block, 1, 4,
+            service_dist::deterministic, false } );
+        /** stage 1: per-block grep job — fresh process each block.
+         *  Equal-size blocks of exact search take near-deterministic
+         *  time. **/
+        const double job_s =
+            c.process_spawn_s + block / c.memchr_bps;
+        d.stages.push_back( stage_desc{ "grep", 1.0 / job_s, n, 2 * n,
+                                        service_dist::deterministic,
+                                        true } );
+        d.items                 = items;
+        d.shared_bandwidth_rate = c.mem_bw_bps / block;
+        const auto r            = simulate_pipeline( d );
+        out.push_back( scaling_point{
+            n, r.throughput_items_per_s * block / 1e9 } );
+    }
+    return out;
+}
+
+std::vector<scaling_point> model_spark( const calibration &c,
+                                        const double file_bytes,
+                                        const unsigned max_cores )
+{
+    std::vector<scaling_point> out;
+    const auto part = c.spark_partition_bytes;
+    const auto items =
+        static_cast<std::uint64_t>( std::max( 1.0, file_bytes / part ) );
+    for( unsigned n = 1; n <= max_cores; ++n )
+    {
+        pipeline_desc d;
+        /** stage 0: driver task dispatch (fast relative to task time) **/
+        d.stages.push_back( stage_desc{
+            "driver", 1.0 / c.spark_task_overhead_s, 1, 8,
+            service_dist::deterministic, false } );
+        /** stage 1: executor — JVM Boyer–Moore over one partition **/
+        const double task_s =
+            part / ( c.bm_bps * c.jvm_matcher_factor ) +
+            c.spark_task_overhead_s;
+        d.stages.push_back( stage_desc{ "executor", 1.0 / task_s, n,
+                                        2 * n,
+                                        service_dist::deterministic,
+                                        true } );
+        d.items                 = items;
+        d.shared_bandwidth_rate = c.mem_bw_bps / part;
+        const auto r            = simulate_pipeline( d );
+        out.push_back( scaling_point{
+            n, r.throughput_items_per_s * part / 1e9 } );
+    }
+    return out;
+}
+
+std::vector<scaling_point> model_raft( const calibration &c,
+                                       const double algo_bps,
+                                       const double file_bytes,
+                                       const unsigned max_cores )
+{
+    std::vector<scaling_point> out;
+    const auto seg = c.raft_segment_bytes;
+    const auto items =
+        static_cast<std::uint64_t>( std::max( 1.0, file_bytes / seg ) );
+    for( unsigned n = 1; n <= max_cores; ++n )
+    {
+        pipeline_desc d;
+        /** stage 0: filereader — mints zero-copy descriptors, cheap **/
+        d.stages.push_back( stage_desc{ "filereader", 2e6, 1, 8,
+                                        service_dist::deterministic,
+                                        false } );
+        /** stage 1: n replicated match kernels; they stream the corpus
+         *  bytes, so the shared memory system caps their aggregate **/
+        d.stages.push_back( stage_desc{ "match", algo_bps / seg, n,
+                                        64,
+                                        service_dist::deterministic,
+                                        true } );
+        /** stage 2: reduce — descriptor merge, cheap **/
+        d.stages.push_back( stage_desc{ "reduce", 5e6, 1, 64,
+                                        service_dist::deterministic,
+                                        false } );
+        d.items                 = items;
+        d.shared_bandwidth_rate = c.mem_bw_bps / seg;
+        const auto r            = simulate_pipeline( d );
+        out.push_back( scaling_point{
+            n, r.throughput_items_per_s * seg / 1e9 } );
+    }
+    return out;
+}
+
+double plain_grep_gbps( const calibration &c )
+{
+    return c.memchr_bps / 1e9;
+}
+
+} /** end namespace raft::sim **/

@@ -1,0 +1,139 @@
+/**
+ * Asynchronous signal pathway (§4.2: "Asynchronous signaling (i.e.,
+ * immediately available to downstream kernels) is also available. Future
+ * implementations will utilize the asynchronous signaling pathway for
+ * global exception handling."): a failure in one branch terminates
+ * kernels in an unrelated branch through the bus, not through stream
+ * closure; kernels can also raise application-level async signals.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+/** Source that never finishes on its own — only the bus can stop it. */
+class endless_source : public raft::kernel
+{
+public:
+    std::atomic<std::uint64_t> emitted{ 0 };
+    endless_source() { output.addPort<i64>( "0" ); }
+    raft::kstatus run() override
+    {
+        output[ "0" ].push<i64>(
+            static_cast<i64>( emitted.fetch_add( 1 ) ) );
+        return raft::proceed;
+    }
+};
+
+class swallow : public raft::kernel
+{
+public:
+    swallow() { input.addPort<i64>( "0" ); }
+    raft::kstatus run() override
+    {
+        (void) input[ "0" ].pop<i64>();
+        return raft::proceed;
+    }
+};
+
+} /** end anonymous namespace **/
+
+TEST( async_signals, failure_in_one_branch_terminates_the_other )
+{
+    /** two disjoint branches joined only by graph connectivity via a
+     *  shared fan-in sink; branch A throws quickly, branch B is
+     *  endless — only the bus's term signal can stop it **/
+    class bomb : public raft::kernel
+    {
+    public:
+        bomb() { input.addPort<i64>( "0" ); }
+        raft::kstatus run() override
+        {
+            (void) input[ "0" ].pop<i64>();
+            throw std::runtime_error( "branch A failed" );
+        }
+    };
+    raft::map m;
+    auto *src   = raft::kernel::make<endless_source>();
+    auto *t     = raft::kernel::make<raft::tee<i64>>( 2 );
+    auto *boom  = raft::kernel::make<bomb>();
+    auto *drain = raft::kernel::make<swallow>();
+    m.link( src, t );
+    m.link( t, "0", boom, "0" );
+    m.link( t, "1", drain, "0" );
+    /** the bomb's branch fails after 1 element; the endless source and
+     *  the drain branch must be brought down by the bus's term signal
+     *  (plus the resulting stream closures), and the error must
+     *  surface to the caller **/
+    EXPECT_THROW( m.exe(), std::runtime_error );
+}
+
+TEST( async_signals, application_raised_term_stops_endless_pipeline )
+{
+    raft::map m;
+    auto *src = raft::kernel::make<endless_source>();
+
+    class stopper : public raft::kernel
+    {
+    public:
+        stopper() { input.addPort<i64>( "0" ); }
+        raft::kstatus run() override
+        {
+            auto v = input[ "0" ].pop_s<i64>();
+            if( *v >= 1000 )
+            {
+                /** async pathway: visible to every kernel immediately,
+                 *  no in-band data needed **/
+                bus()->raise( raft::term );
+                return raft::stop;
+            }
+            return raft::proceed;
+        }
+    };
+    m.link( src, raft::kernel::make<stopper>() );
+    m.exe(); /** must terminate **/
+    EXPECT_GE( src->emitted.load(), 1000u );
+}
+
+TEST( async_signals, bus_visible_to_all_kernels_during_run )
+{
+    raft::map m;
+    auto *src = raft::kernel::make<endless_source>();
+    std::atomic<bool> saw_bus{ false };
+
+    class prober : public raft::kernel
+    {
+    public:
+        std::atomic<bool> *saw;
+        explicit prober( std::atomic<bool> *s ) : saw( s )
+        {
+            input.addPort<i64>( "0" );
+        }
+        raft::kstatus run() override
+        {
+            auto v = input[ "0" ].pop_s<i64>();
+            if( bus() != nullptr )
+            {
+                saw->store( true );
+            }
+            if( *v >= 100 )
+            {
+                bus()->raise( raft::term );
+                return raft::stop;
+            }
+            return raft::proceed;
+        }
+    };
+    m.link( src, raft::kernel::make<prober>( &saw_bus ) );
+    m.exe();
+    EXPECT_TRUE( saw_bus.load() );
+    /** bus detached at teardown **/
+    EXPECT_EQ( src->bus(), nullptr );
+}

@@ -1,0 +1,265 @@
+/**
+ * Automatic parallelization (§4.1): clone-based replication behind
+ * split/reduce adapters, strategy selection, ordering semantics and the
+ * seq_tag/reorder re-ordering paradigm.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+/** Clonable stateless transform: doubles its input. */
+class doubler : public raft::kernel
+{
+public:
+    doubler()
+    {
+        input.addPort<i64>( "0" );
+        output.addPort<i64>( "0" );
+    }
+    raft::kstatus run() override
+    {
+        auto v   = input[ "0" ].pop_s<i64>();
+        auto out = output[ "0" ].allocate_s<i64>();
+        ( *out ) = 2 * ( *v );
+        return raft::proceed;
+    }
+    bool clone_supported() const override { return true; }
+    raft::kernel *clone() const override { return new doubler(); }
+};
+
+raft::generate<i64> *seq_source( const std::size_t n )
+{
+    return raft::kernel::make<raft::generate<i64>>(
+        n, []( std::size_t i ) { return static_cast<i64>( i ); } );
+}
+
+raft::run_options replicated_opts( const std::size_t width,
+                                   const raft::split_kind strat )
+{
+    raft::run_options o;
+    o.enable_auto_parallel = true;
+    o.replication_width    = width;
+    o.split_strategy       = strat;
+    return o;
+}
+
+} /** end anonymous namespace **/
+
+class autoparallel_strategies
+    : public ::testing::TestWithParam<raft::split_kind>
+{
+};
+
+TEST_P( autoparallel_strategies, replicated_results_correct )
+{
+    const std::size_t count = 20000;
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( count ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 4, GetParam() ) );
+
+    ASSERT_EQ( out.size(), count );
+    /** out-of-order permitted: compare as a multiset **/
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 2 * i ) );
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    strategies, autoparallel_strategies,
+    ::testing::Values( raft::split_kind::round_robin,
+                       raft::split_kind::least_utilized ) );
+
+TEST( autoparallel, graph_rewritten_with_adapters_and_clones )
+{
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( 10 ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter(
+                               *new std::vector<i64>() ) ) );
+    m.exe( replicated_opts( 3, raft::split_kind::least_utilized ) );
+    /** source + split + 3 doublers + reduce + sink = 7 kernels **/
+    EXPECT_EQ( m.graph().kernels().size(), 7u );
+    /** 1 + 3 + 3 + 1 = 8 streams **/
+    EXPECT_EQ( m.graph().edges().size(), 8u );
+}
+
+TEST( autoparallel, in_order_link_prevents_replication )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link( seq_source( 100 ),
+                     raft::kernel::make<doubler>() ); /** in_order **/
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 4, raft::split_kind::round_robin ) );
+    EXPECT_EQ( m.graph().kernels().size(), 3u ); /** untouched **/
+    /** strictly in order **/
+    for( std::size_t i = 0; i < out.size(); ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 2 * i ) );
+    }
+}
+
+TEST( autoparallel, width_one_is_a_noop )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( 100 ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 1, raft::split_kind::round_robin ) );
+    EXPECT_EQ( m.graph().kernels().size(), 3u );
+    EXPECT_EQ( out.size(), 100u );
+}
+
+TEST( autoparallel, disabled_flag_is_a_noop )
+{
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( 100 ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter(
+                               *new std::vector<i64>() ) ) );
+    raft::run_options o;
+    o.enable_auto_parallel = false;
+    o.replication_width    = 8;
+    m.exe( o );
+    EXPECT_EQ( m.graph().kernels().size(), 3u );
+}
+
+TEST( autoparallel, non_clonable_kernel_not_replicated )
+{
+    std::vector<i64> out;
+    raft::map m;
+    /** write_each is not clonable even on raft::out links **/
+    m.link<raft::out>( seq_source( 50 ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 4, raft::split_kind::round_robin ) );
+    EXPECT_EQ( m.graph().kernels().size(), 2u );
+    EXPECT_EQ( out.size(), 50u );
+}
+
+TEST( autoparallel, seq_tag_reorder_restores_order )
+{
+    /** paradigm 3 of §4.1: process out of order, re-order later **/
+    const std::size_t count = 5000;
+    std::vector<i64> out;
+
+    class tagged_doubler : public raft::kernel
+    {
+    public:
+        tagged_doubler()
+        {
+            input.addPort<raft::seq_item<i64>>( "0" );
+            output.addPort<raft::seq_item<i64>>( "0" );
+        }
+        raft::kstatus run() override
+        {
+            auto v   = input[ "0" ].pop_s<raft::seq_item<i64>>();
+            auto o   = output[ "0" ].allocate_s<raft::seq_item<i64>>();
+            o->seq   = v->seq;
+            o->value = 2 * v->value;
+            return raft::proceed;
+        }
+        bool clone_supported() const override { return true; }
+        raft::kernel *clone() const override
+        {
+            return new tagged_doubler();
+        }
+    };
+
+    raft::map m;
+    auto a = m.link( seq_source( count ),
+                     raft::kernel::make<raft::seq_tag<i64>>() );
+    auto b = m.link<raft::out>( &( a.dst ),
+                                raft::kernel::make<tagged_doubler>() );
+    auto c = m.link<raft::out>( &( b.dst ),
+                                raft::kernel::make<raft::reorder<i64>>() );
+    m.link( &( c.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 4, raft::split_kind::least_utilized ) );
+
+    ASSERT_EQ( out.size(), count );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        ASSERT_EQ( out[ i ], static_cast<i64>( 2 * i ) )
+            << "order broken at " << i;
+    }
+}
+
+TEST( autoparallel, two_stage_replication_composes )
+{
+    const std::size_t count = 8000;
+    std::vector<i64> out;
+    raft::map m;
+    auto a = m.link<raft::out>( seq_source( count ),
+                                raft::kernel::make<doubler>() );
+    auto b = m.link<raft::out>( &( a.dst ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( b.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    m.exe( replicated_opts( 2, raft::split_kind::round_robin ) );
+    ASSERT_EQ( out.size(), count );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 4 * i ) );
+    }
+}
+
+TEST( split_strategy, round_robin_cycles )
+{
+    raft::round_robin_strategy rr;
+    raft::ring_buffer<int> a( 4 ), b( 4 ), c( 4 );
+    std::vector<raft::fifo_base *> outs{ &a, &b, &c };
+    EXPECT_EQ( rr.choose( outs ), 0u );
+    EXPECT_EQ( rr.choose( outs ), 1u );
+    EXPECT_EQ( rr.choose( outs ), 2u );
+    EXPECT_EQ( rr.choose( outs ), 0u );
+}
+
+TEST( split_strategy, least_utilized_picks_emptiest )
+{
+    raft::least_utilized_strategy lu;
+    raft::ring_buffer<int> a( 4 ), b( 4 ), c( 4 );
+    a.push( 1 );
+    a.push( 2 );
+    b.push( 1 );
+    std::vector<raft::fifo_base *> outs{ &a, &b, &c };
+    EXPECT_EQ( lu.choose( outs ), 2u );
+    c.push( 1 );
+    c.push( 2 );
+    c.push( 3 );
+    EXPECT_EQ( lu.choose( outs ), 1u );
+}
+
+TEST( split_strategy, factory_maps_kinds )
+{
+    auto rr = raft::make_split_strategy( raft::split_kind::round_robin );
+    EXPECT_STREQ( rr->name(), "round-robin" );
+    auto lu =
+        raft::make_split_strategy( raft::split_kind::least_utilized );
+    EXPECT_STREQ( lu->name(), "least-utilized" );
+}

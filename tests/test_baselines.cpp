@@ -1,0 +1,176 @@
+/**
+ * Baseline frameworks (§5 comparators): the GNU-Parallel-style pgrep and
+ * the Spark-like minispark must both produce oracle-exact counts under
+ * every parallelism and partitioning configuration.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include <algo/corpus.hpp>
+#include <baselines/minispark.hpp>
+#include <baselines/pgrep.hpp>
+
+using namespace raft::baselines;
+
+namespace {
+
+struct fixture
+{
+    std::string corpus;
+    std::string pattern{ "pipelinekernel" };
+    std::uint64_t expect{ 0 };
+
+    fixture()
+    {
+        raft::algo::corpus_options o;
+        o.size_bytes      = 192 * 1024;
+        o.seed            = 2024;
+        o.pattern         = pattern;
+        o.implant_per_mib = 250.0;
+        corpus            = raft::algo::make_corpus( o );
+        expect            = raft::algo::oracle_count( corpus, pattern );
+    }
+};
+
+const fixture &shared_fixture()
+{
+    static const fixture f;
+    return f;
+}
+
+} /** end anonymous namespace **/
+
+class pgrep_sweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>>
+{
+};
+
+TEST_P( pgrep_sweep, oracle_exact_counts )
+{
+    const auto &f             = shared_fixture();
+    const auto [ jobs, block ] = GetParam();
+    ASSERT_GT( f.expect, 0u );
+    pgrep_options o;
+    o.jobs        = jobs;
+    o.block_bytes = block;
+    EXPECT_EQ( pgrep_count( f.corpus, f.pattern, o ), f.expect );
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    configs, pgrep_sweep,
+    ::testing::Combine( ::testing::Values( 1u, 2u, 4u ),
+                        ::testing::Values( std::size_t{ 4096 },
+                                           std::size_t{ 64 * 1024 },
+                                           std::size_t{ 1 << 20 } ) ) );
+
+TEST( pgrep, direct_mode_matches_piped_mode )
+{
+    const auto &f = shared_fixture();
+    pgrep_options piped;
+    piped.jobs = 2;
+    pgrep_options direct          = piped;
+    direct.copy_through_pipe_buffer = false;
+    EXPECT_EQ( pgrep_count( f.corpus, f.pattern, piped ),
+               pgrep_count( f.corpus, f.pattern, direct ) );
+}
+
+TEST( pgrep, block_boundary_matches_counted_once )
+{
+    std::string text( 8192, '.' );
+    const std::string pattern = "SPLIT";
+    /** implant exactly across every 1024-byte block boundary **/
+    for( std::size_t b = 1024; b < text.size(); b += 1024 )
+    {
+        text.replace( b - 2, pattern.size(), pattern );
+    }
+    const auto expect = raft::algo::oracle_count( text, pattern );
+    pgrep_options o;
+    o.jobs        = 3;
+    o.block_bytes = 1024;
+    EXPECT_EQ( pgrep_count( text, pattern, o ), expect );
+}
+
+TEST( executor_pool, runs_every_task_once )
+{
+    executor_pool pool( 4 );
+    std::atomic<int> ran{ 0 };
+    std::vector<std::future<void>> futs;
+    for( int i = 0; i < 100; ++i )
+    {
+        futs.push_back( pool.submit( [ & ]() { ++ran; } ) );
+    }
+    for( auto &fu : futs )
+    {
+        fu.get();
+    }
+    EXPECT_EQ( ran.load(), 100 );
+}
+
+TEST( executor_pool, task_exceptions_surface_via_future )
+{
+    executor_pool pool( 2 );
+    auto fu = pool.submit(
+        []() { throw std::runtime_error( "task failed" ); } );
+    EXPECT_THROW( fu.get(), std::runtime_error );
+}
+
+TEST( minispark, run_partitions_preserves_order )
+{
+    minispark_context ctx( 4 );
+    const auto r = ctx.run_partitions<std::size_t>(
+        32, []( std::size_t p ) { return p * p; } );
+    ASSERT_EQ( r.size(), 32u );
+    for( std::size_t p = 0; p < 32; ++p )
+    {
+        EXPECT_EQ( r[ p ], p * p );
+    }
+}
+
+class minispark_sweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>>
+{
+};
+
+TEST_P( minispark_sweep, search_job_oracle_exact )
+{
+    const auto &f                  = shared_fixture();
+    const auto [ execs, partition ] = GetParam();
+    minispark_context ctx( execs );
+    spark_job_options o;
+    o.partition_bytes = partition;
+    EXPECT_EQ( spark_search( ctx, f.corpus, f.pattern, o ), f.expect );
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    configs, minispark_sweep,
+    ::testing::Combine( ::testing::Values( 1u, 2u, 4u ),
+                        ::testing::Values( std::size_t{ 8 * 1024 },
+                                           std::size_t{ 32 * 1024 },
+                                           std::size_t{ 1 << 20 } ) ) );
+
+TEST( minispark, partition_boundary_matches_counted_once )
+{
+    std::string text( 4096, '-' );
+    const std::string pattern = "EDGE";
+    for( std::size_t b = 512; b < text.size(); b += 512 )
+    {
+        text.replace( b - 1, pattern.size(), pattern );
+    }
+    const auto expect = raft::algo::oracle_count( text, pattern );
+    minispark_context ctx( 2 );
+    spark_job_options o;
+    o.partition_bytes = 512;
+    EXPECT_EQ( spark_search( ctx, text, pattern, o ), expect );
+}
+
+TEST( minispark, task_overhead_slows_but_stays_correct )
+{
+    const auto &f = shared_fixture();
+    minispark_context ctx( 2 );
+    spark_job_options o;
+    o.partition_bytes = 16 * 1024;
+    o.task_overhead_s = 0.0002;
+    EXPECT_EQ( spark_search( ctx, f.corpus, f.pattern, o ), f.expect );
+}

@@ -1,0 +1,196 @@
+/**
+ * Model-reliability classification (the paper's "fast automatic model
+ * selection" future work, after Beard et al. ICPE'15): the from-scratch
+ * linear SVM on synthetic separable data, the DES-labelled dataset, and
+ * the trained classifier recovering queueing-theory ground truth —
+ * M/M/1 trusted for Poisson-like streams, distrusted for deterministic
+ * or bursty ones.
+ */
+#include <gtest/gtest.h>
+
+#include <queueing/classifier.hpp>
+#include <sim/pipeline.hpp>
+
+using namespace raft::queueing;
+
+TEST( svm, separates_synthetic_linear_data )
+{
+    /** label by rho threshold — trivially separable after lifting **/
+    std::vector<model_features> X;
+    std::vector<int> y;
+    for( int i = 0; i < 200; ++i )
+    {
+        model_features f;
+        f.rho         = 0.01 * ( i % 100 );
+        f.arrival_scv = 1.0;
+        f.service_scv = 1.0;
+        X.push_back( f );
+        y.push_back( f.rho < 0.5 ? +1 : -1 );
+    }
+    svm_classifier clf;
+    clf.train( X, y );
+    EXPECT_TRUE( clf.trained() );
+    EXPECT_GE( clf.accuracy( X, y ), 0.97 );
+}
+
+TEST( svm, rejects_empty_or_mismatched_input )
+{
+    svm_classifier clf;
+    EXPECT_THROW( clf.train( {}, {} ), std::invalid_argument );
+    std::vector<model_features> X( 3 );
+    std::vector<int> y( 2, 1 );
+    EXPECT_THROW( clf.train( X, y ), std::invalid_argument );
+}
+
+TEST( svm, decision_margin_orders_confidence )
+{
+    std::vector<model_features> X;
+    std::vector<int> y;
+    for( int i = 0; i < 100; ++i )
+    {
+        model_features f;
+        f.service_scv = i < 50 ? 1.0 : 4.0;
+        X.push_back( f );
+        y.push_back( i < 50 ? +1 : -1 );
+    }
+    svm_classifier clf;
+    clf.train( X, y );
+    model_features poisson, bursty;
+    poisson.service_scv = 1.0;
+    bursty.service_scv  = 4.0;
+    EXPECT_GT( clf.decision( poisson ), clf.decision( bursty ) );
+}
+
+namespace {
+
+/** Dataset/classifier fixtures are expensive (DES sweep): share them. */
+const std::vector<reliability_sample> &dataset()
+{
+    static const auto d = []() {
+        dataset_options o;
+        o.items_per_run = 20'000;
+        return make_reliability_dataset( o );
+    }();
+    return d;
+}
+
+const svm_classifier &classifier()
+{
+    static const auto c = []() {
+        dataset_options o;
+        o.items_per_run = 20'000;
+        return train_reliability_classifier( o );
+    }();
+    return c;
+}
+
+} /** end anonymous namespace **/
+
+TEST( reliability_dataset, covers_both_labels )
+{
+    const auto &d  = dataset();
+    std::size_t pos = 0, neg = 0;
+    for( const auto &s : d )
+    {
+        ( s.label > 0 ? pos : neg )++;
+    }
+    EXPECT_GT( pos, d.size() / 10 );
+    EXPECT_GT( neg, d.size() / 10 );
+    EXPECT_EQ( d.size(), 4u * 4u * 5u * 2u );
+}
+
+TEST( reliability_dataset, exp_exp_large_buffer_is_reliable )
+{
+    for( const auto &s : dataset() )
+    {
+        if( s.features.arrival_scv == 1.0 &&
+            s.features.service_scv == 1.0 &&
+            s.features.log2_buffer > 8.0 && s.features.rho <= 0.9 )
+        {
+            EXPECT_EQ( s.label, +1 )
+                << "rho=" << s.features.rho
+                << " model=" << s.model_lq << " sim=" << s.sim_lq;
+        }
+    }
+}
+
+TEST( reliability_dataset, deterministic_service_misleads_mm1 )
+{
+    /** M/D/1 has half the M/M/1 queue: the label must flag it **/
+    std::size_t checked = 0;
+    for( const auto &s : dataset() )
+    {
+        if( s.features.arrival_scv == 1.0 &&
+            s.features.service_scv == 0.0 &&
+            s.features.rho >= 0.7 && s.features.log2_buffer > 8.0 )
+        {
+            EXPECT_EQ( s.label, -1 )
+                << "rho=" << s.features.rho
+                << " model=" << s.model_lq << " sim=" << s.sim_lq;
+            ++checked;
+        }
+    }
+    EXPECT_GT( checked, 0u );
+}
+
+TEST( reliability_classifier, accurate_on_training_distribution )
+{
+    const auto &d = dataset();
+    std::vector<model_features> X;
+    std::vector<int> y;
+    for( const auto &s : d )
+    {
+        X.push_back( s.features );
+        y.push_back( s.label );
+    }
+    EXPECT_GE( classifier().accuracy( X, y ), 0.80 );
+}
+
+TEST( reliability_classifier, recovers_queueing_theory_boundary )
+{
+    const auto &clf = classifier();
+    /** canonical M/M/1 setting: trust the model **/
+    model_features mm1_case;
+    mm1_case.rho         = 0.7;
+    mm1_case.arrival_scv = 1.0;
+    mm1_case.service_scv = 1.0;
+    mm1_case.log2_buffer = 12.0;
+    EXPECT_EQ( clf.predict( mm1_case ), +1 );
+
+    /** heavy burstiness: distrust it **/
+    model_features bursty = mm1_case;
+    bursty.arrival_scv    = 4.0;
+    bursty.service_scv    = 4.0;
+    EXPECT_EQ( clf.predict( bursty ), -1 );
+
+    /** fully deterministic pipeline: distrust it **/
+    model_features det = mm1_case;
+    det.arrival_scv    = 0.0;
+    det.service_scv    = 0.0;
+    EXPECT_EQ( clf.predict( det ), -1 );
+}
+
+TEST( des_distributions, scv_constants_match_samples )
+{
+    /** validate the new service distributions via the simulator: a
+     *  single-stage pipeline's makespan with n items has mean n/rate
+     *  regardless of distribution **/
+    for( const auto d : { raft::sim::service_dist::uniform,
+                          raft::sim::service_dist::hyperexponential } )
+    {
+        raft::sim::pipeline_desc p;
+        p.stages.push_back(
+            raft::sim::stage_desc{ "only", 100.0, 1, 1, d, false } );
+        p.items      = 40'000;
+        p.seed       = 123;
+        const auto r = raft::sim::simulate_pipeline( p );
+        EXPECT_NEAR( r.throughput_items_per_s, 100.0, 3.0 )
+            << "dist " << static_cast<int>( d );
+    }
+    EXPECT_DOUBLE_EQ(
+        raft::sim::service_scv( raft::sim::service_dist::uniform ),
+        1.0 / 3.0 );
+    EXPECT_DOUBLE_EQ( raft::sim::service_scv(
+                          raft::sim::service_dist::deterministic ),
+                      0.0 );
+}

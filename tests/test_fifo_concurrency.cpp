@@ -1,0 +1,266 @@
+/**
+ * Concurrency properties of the SPSC ring buffer: order preservation under
+ * a real producer/consumer pair, correctness while a third (monitor-like)
+ * thread resizes through the gate protocol, and end-of-stream races.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <core/ringbuffer.hpp>
+
+using raft::ring_buffer;
+
+namespace {
+
+struct spsc_param
+{
+    std::size_t capacity;
+    std::uint64_t items;
+};
+
+} /** end anonymous namespace **/
+
+class spsc_stress : public ::testing::TestWithParam<spsc_param>
+{
+};
+
+TEST_P( spsc_stress, order_preserved )
+{
+    const auto p = GetParam();
+    ring_buffer<std::uint64_t> q( p.capacity );
+    std::thread producer( [ & ]() {
+        for( std::uint64_t i = 0; i < p.items; ++i )
+        {
+            q.push( i + 0 );
+        }
+        q.close_write();
+    } );
+    std::uint64_t expect = 0;
+    bool in_order        = true;
+    try
+    {
+        for( ;; )
+        {
+            std::uint64_t v = 0;
+            q.pop( v );
+            in_order = in_order && ( v == expect );
+            ++expect;
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    producer.join();
+    EXPECT_TRUE( in_order );
+    EXPECT_EQ( expect, p.items );
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sweep, spsc_stress,
+    ::testing::Values( spsc_param{ 2, 20'000 },
+                       spsc_param{ 8, 50'000 },
+                       spsc_param{ 64, 100'000 },
+                       spsc_param{ 1024, 100'000 } ) );
+
+TEST( fifo_concurrency, resize_during_traffic_preserves_stream )
+{
+    ring_buffer<std::uint64_t> q( 4 );
+    constexpr std::uint64_t items = 150'000;
+    std::atomic<bool> done{ false };
+
+    std::thread producer( [ & ]() {
+        for( std::uint64_t i = 0; i < items; ++i )
+        {
+            q.push( i + 0 );
+        }
+        q.close_write();
+    } );
+
+    /** monitor-like thread: grow and shrink while both ends run **/
+    std::thread resizer( [ & ]() {
+        std::size_t cap = 4;
+        while( !done.load( std::memory_order_acquire ) )
+        {
+            cap = ( cap >= 4096 ) ? 8 : cap * 2;
+            q.resize( cap ); /** may fail under contention: fine **/
+            std::this_thread::yield();
+        }
+    } );
+
+    std::uint64_t expect = 0;
+    bool in_order        = true;
+    try
+    {
+        for( ;; )
+        {
+            std::uint64_t v = 0;
+            q.pop( v );
+            in_order = in_order && ( v == expect );
+            ++expect;
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    done.store( true, std::memory_order_release );
+    producer.join();
+    resizer.join();
+    EXPECT_TRUE( in_order );
+    EXPECT_EQ( expect, items );
+    EXPECT_EQ( q.total_popped(), items );
+}
+
+TEST( fifo_concurrency, resize_during_traffic_nontrivial_type )
+{
+    ring_buffer<std::string> q( 2 );
+    constexpr std::uint64_t items = 20'000;
+    std::atomic<bool> done{ false };
+
+    std::thread producer( [ & ]() {
+        for( std::uint64_t i = 0; i < items; ++i )
+        {
+            q.push( "payload-" + std::to_string( i ) );
+        }
+        q.close_write();
+    } );
+    std::thread resizer( [ & ]() {
+        bool big = true;
+        while( !done.load( std::memory_order_acquire ) )
+        {
+            q.resize( big ? 256 : 4 );
+            big = !big;
+            std::this_thread::yield();
+        }
+    } );
+
+    std::uint64_t expect = 0;
+    bool matched         = true;
+    try
+    {
+        for( ;; )
+        {
+            std::string v;
+            q.pop( v );
+            matched =
+                matched && ( v == "payload-" + std::to_string( expect ) );
+            ++expect;
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    done.store( true, std::memory_order_release );
+    producer.join();
+    resizer.join();
+    EXPECT_TRUE( matched );
+    EXPECT_EQ( expect, items );
+}
+
+TEST( fifo_concurrency, consumer_waiting_then_close_unblocks )
+{
+    ring_buffer<int> q( 4 );
+    std::atomic<bool> threw{ false };
+    std::thread consumer( [ & ]() {
+        try
+        {
+            int v = 0;
+            q.pop( v );
+        }
+        catch( const raft::closed_port_exception & )
+        {
+            threw.store( true );
+        }
+    } );
+    /** let the consumer block, then close **/
+    while( q.read_blocked_since() == 0 )
+    {
+        std::this_thread::yield();
+    }
+    q.close_write();
+    consumer.join();
+    EXPECT_TRUE( threw.load() );
+}
+
+TEST( fifo_concurrency, producer_blocked_then_reader_close_unblocks )
+{
+    ring_buffer<int> q( 2 );
+    q.push( 1 );
+    q.push( 2 );
+    std::atomic<bool> threw{ false };
+    std::thread producer( [ & ]() {
+        try
+        {
+            q.push( 3 ); /** full: blocks **/
+        }
+        catch( const raft::closed_port_exception & )
+        {
+            threw.store( true );
+        }
+    } );
+    while( q.write_blocked_since() == 0 )
+    {
+        std::this_thread::yield();
+    }
+    q.close_read();
+    producer.join();
+    EXPECT_TRUE( threw.load() );
+}
+
+TEST( fifo_concurrency, peek_range_defers_resize_but_survives )
+{
+    ring_buffer<int> q( 8 );
+    for( int i = 0; i < 8; ++i )
+    {
+        q.push( i );
+    }
+    std::atomic<bool> resized{ false };
+    {
+        auto w = q.peek_range( 8 );
+        std::thread resizer( [ & ]() {
+            /** consumer claim held: bounded wait must fail **/
+            resized.store( q.resize( 64 ) );
+        } );
+        resizer.join();
+        EXPECT_FALSE( resized.load() );
+        EXPECT_EQ( w[ 7 ], 7 ); /** window untouched **/
+    }
+    /** claim released: resize now succeeds **/
+    EXPECT_TRUE( q.resize( 64 ) );
+    EXPECT_EQ( q.capacity(), 64u );
+}
+
+TEST( fifo_concurrency, demand_driven_growth_via_external_monitor )
+{
+    ring_buffer<int> q( 4 );
+    q.set_auto_resize( true );
+    std::thread monitorish( [ & ]() {
+        /** emulate the monitor: grant any posted overflow demand **/
+        for( ;; )
+        {
+            const auto req = q.resize_request();
+            if( req > q.capacity() )
+            {
+                q.resize( req );
+                return;
+            }
+            std::this_thread::yield();
+        }
+    } );
+    std::thread producer( [ & ]() {
+        for( int i = 0; i < 32; ++i )
+        {
+            q.push( i );
+        }
+    } );
+    {
+        auto w = q.peek_range( 32 ); /** > initial capacity **/
+        EXPECT_EQ( w[ 31 ], 31 );
+    }
+    producer.join();
+    monitorish.join();
+    EXPECT_GE( q.capacity(), 32u );
+}

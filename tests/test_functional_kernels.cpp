@@ -1,0 +1,204 @@
+/**
+ * Functional standard kernels: transform, filter (including replication
+ * under raft::out), tee, merge, batch/unbatch roundtrips and the
+ * flush-at-end-of-stream rule.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include <core/kernels/functional.hpp>
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+raft::generate<i64> *seq_source( const std::size_t n )
+{
+    return raft::kernel::make<raft::generate<i64>>(
+        n, []( std::size_t i ) { return static_cast<i64>( i ); } );
+}
+
+} /** end anonymous namespace **/
+
+TEST( transform_kernel, applies_function_per_element )
+{
+    std::vector<double> out;
+    raft::map m;
+    auto p = m.link( seq_source( 100 ),
+                     raft::kernel::make<raft::transform<i64, double>>(
+                         []( const i64 &v ) { return v * 0.5; } ) );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<double>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 100u );
+    EXPECT_DOUBLE_EQ( out[ 7 ], 3.5 );
+}
+
+TEST( transform_kernel, replicates_under_out_of_order_links )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>(
+        seq_source( 5000 ),
+        raft::kernel::make<raft::transform<i64>>(
+            []( const i64 &v ) { return v + 1000; } ) );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    raft::run_options o;
+    o.replication_width = 4;
+    m.exe( o );
+    EXPECT_GT( m.graph().kernels().size(), 3u ); /** replicated **/
+    ASSERT_EQ( out.size(), 5000u );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < out.size(); i += 37 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i + 1000 ) );
+    }
+}
+
+TEST( filter_kernel, drops_failing_elements )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link( seq_source( 1000 ),
+                     raft::kernel::make<raft::filter<i64>>(
+                         []( const i64 &v ) { return v % 3 == 0; } ) );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 334u );
+    for( const auto v : out )
+    {
+        EXPECT_EQ( v % 3, 0 );
+    }
+}
+
+TEST( filter_kernel, filtering_rate_visible_in_stats )
+{
+    /** §3's dynamic downstream volume: 1000 in, ~10 out **/
+    raft::runtime::perf_snapshot snap;
+    raft::run_options o;
+    o.stats_out     = &snap;
+    o.monitor_delta = std::chrono::microseconds( 50 );
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link( seq_source( 1000 ),
+                     raft::kernel::make<raft::filter<i64>>(
+                         []( const i64 &v ) { return v % 100 == 0; } ) );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe( o );
+    const auto *up   = snap.find( "generate", "filter" );
+    const auto *down = snap.find( "filter", "write_each" );
+    ASSERT_NE( up, nullptr );
+    ASSERT_NE( down, nullptr );
+    EXPECT_EQ( up->popped, 1000u );
+    EXPECT_EQ( down->popped, 10u );
+}
+
+TEST( tee_kernel, duplicates_to_every_output )
+{
+    std::vector<i64> a, b;
+    raft::map m;
+    auto *t = raft::kernel::make<raft::tee<i64>>( 2 );
+    m.link( seq_source( 50 ), t );
+    m.link( t, "0",
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( a ) ),
+            "0" );
+    m.link( t, "1",
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( b ) ),
+            "0" );
+    m.exe();
+    EXPECT_EQ( a.size(), 50u );
+    EXPECT_EQ( a, b );
+}
+
+TEST( merge_kernel, combines_all_inputs )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto *mg = raft::kernel::make<raft::merge<i64>>( 3 );
+    m.link( seq_source( 100 ), mg, "0" );
+    m.link( seq_source( 100 ), mg, "1" );
+    m.link( seq_source( 100 ), mg, "2" );
+    m.link( mg, raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 300u );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < 100; ++i )
+    {
+        /** each value appears exactly three times **/
+        EXPECT_EQ( out[ 3 * i ], static_cast<i64>( i ) );
+        EXPECT_EQ( out[ 3 * i + 2 ], static_cast<i64>( i ) );
+    }
+}
+
+TEST( batch_kernel, groups_and_flushes_partial_tail )
+{
+    std::vector<std::vector<i64>> groups;
+    raft::map m;
+    auto p = m.link( seq_source( 10 ),
+                     raft::kernel::make<raft::batch<i64>>( 4 ) );
+    m.link( &( p.dst ),
+            raft::kernel::make<raft::write_each<std::vector<i64>>>(
+                std::back_inserter( groups ) ) );
+    m.exe();
+    ASSERT_EQ( groups.size(), 3u ); /** 4 + 4 + 2 **/
+    EXPECT_EQ( groups[ 0 ], ( std::vector<i64>{ 0, 1, 2, 3 } ) );
+    EXPECT_EQ( groups[ 2 ], ( std::vector<i64>{ 8, 9 } ) );
+}
+
+TEST( batch_kernel, batch_unbatch_roundtrip )
+{
+    std::vector<i64> out;
+    raft::map m;
+    auto a = m.link( seq_source( 1000 ),
+                     raft::kernel::make<raft::batch<i64>>( 32 ) );
+    auto b = m.link( &( a.dst ),
+                     raft::kernel::make<raft::unbatch<i64>>() );
+    m.link( &( b.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 1000u );
+    for( std::size_t i = 0; i < 1000; ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i ) );
+    }
+}
+
+TEST( functional_kernels, compose_into_word_pipeline )
+{
+    /** transform → filter → batch in one application **/
+    std::vector<std::vector<i64>> groups;
+    raft::map m;
+    auto a = m.link( seq_source( 64 ),
+                     raft::kernel::make<raft::transform<i64>>(
+                         []( const i64 &v ) { return v * v; } ) );
+    auto b = m.link( &( a.dst ),
+                     raft::kernel::make<raft::filter<i64>>(
+                         []( const i64 &v ) { return v % 2 == 0; } ) );
+    auto c = m.link( &( b.dst ),
+                     raft::kernel::make<raft::batch<i64>>( 8 ) );
+    m.link( &( c.dst ),
+            raft::kernel::make<raft::write_each<std::vector<i64>>>(
+                std::back_inserter( groups ) ) );
+    m.exe();
+    std::size_t total = 0;
+    for( const auto &g : groups )
+    {
+        for( const auto v : g )
+        {
+            EXPECT_EQ( v % 2, 0 );
+            ++total;
+        }
+    }
+    EXPECT_EQ( total, 32u ); /** even squares of 0..63 **/
+}

@@ -1,0 +1,325 @@
+/**
+ * Cross-module integration: diamond and multi-stage topologies, sliding
+ * windows (peek_range) inside real kernels, the pool scheduler driving
+ * adapters, exception propagation out of replicated pipelines, and
+ * re-running applications from fresh maps.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <numeric>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+raft::generate<i64> *seq_source( const std::size_t n )
+{
+    return raft::kernel::make<raft::generate<i64>>(
+        n, []( std::size_t i ) { return static_cast<i64>( i ); } );
+}
+
+/** 1-in-2-out fan: routes evens to "even", odds to "odd". */
+class parity_fan : public raft::kernel
+{
+public:
+    parity_fan()
+    {
+        input.addPort<i64>( "0" );
+        output.addPort<i64>( "even", "odd" );
+    }
+    raft::kstatus run() override
+    {
+        auto v = input[ "0" ].pop_s<i64>();
+        output[ ( *v % 2 == 0 ) ? "even" : "odd" ].push<i64>( *v );
+        return raft::proceed;
+    }
+};
+
+/** 2-in-1-out zip: alternately forwards from each input. */
+class interleave : public raft::kernel
+{
+public:
+    interleave()
+    {
+        input.addPort<i64>( "a", "b" );
+        output.addPort<i64>( "0" );
+    }
+    raft::kstatus run() override
+    {
+        /** drain whichever has data; end when both close **/
+        bool moved = false;
+        for( const char *name : { "a", "b" } )
+        {
+            i64 v = 0;
+            if( input[ name ].size() > 0 )
+            {
+                input[ name ].pop<i64>( v );
+                output[ "0" ].push<i64>( v );
+                moved = true;
+            }
+        }
+        if( !moved )
+        {
+            if( input[ "a" ].drained() && input[ "b" ].drained() )
+            {
+                return raft::stop;
+            }
+        }
+        return raft::proceed;
+    }
+};
+
+} /** end anonymous namespace **/
+
+TEST( integration, diamond_topology_routes_everything )
+{
+    const std::size_t count = 10'000;
+    std::vector<i64> out;
+    raft::map m;
+    auto *fan = raft::kernel::make<parity_fan>();
+    auto *zip = raft::kernel::make<interleave>();
+    m.link( seq_source( count ), fan );
+    m.link( fan, "even", zip, "a" );
+    m.link( fan, "odd", zip, "b" );
+    m.link( zip, raft::kernel::make<raft::write_each<i64>>(
+                     std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), count );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i ) );
+    }
+}
+
+TEST( integration, sliding_window_moving_average )
+{
+    /** §3's sliding-window access pattern through peek_range **/
+    constexpr std::size_t window = 8;
+    class moving_average : public raft::kernel
+    {
+    public:
+        moving_average()
+        {
+            input.addPort<i64>( "0" );
+            output.addPort<double>( "0" );
+        }
+        raft::kstatus run() override
+        {
+            auto w = input[ "0" ].peek_range<i64>( window );
+            double sum = 0.0;
+            for( std::size_t i = 0; i < window; ++i )
+            {
+                sum += static_cast<double>( w[ i ] );
+            }
+            output[ "0" ].push<double>( sum /
+                                        static_cast<double>( window ) );
+            input[ "0" ].recycle( 1 ); /** slide by one **/
+            return raft::proceed;
+        }
+    };
+
+    const std::size_t count = 1000;
+    std::vector<double> out;
+    raft::map m;
+    auto p = m.link( seq_source( count ),
+                     raft::kernel::make<moving_average>() );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<double>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), count - window + 1 );
+    for( std::size_t i = 0; i < out.size(); ++i )
+    {
+        /** mean of i..i+7 = i + 3.5 **/
+        EXPECT_DOUBLE_EQ( out[ i ], static_cast<double>( i ) + 3.5 );
+    }
+}
+
+TEST( integration, five_stage_pipeline_composes )
+{
+    const std::size_t count = 5000;
+    std::vector<i64> out;
+    raft::map m;
+    auto make_inc = []() {
+        return raft::kernel::make<raft::lambdak<i64>>(
+            1, 1, []( raft::Port &in, raft::Port &o ) {
+                auto v = in[ "0" ].pop_s<i64>();
+                o[ "0" ].push<i64>( *v + 1 );
+            } );
+    };
+    auto a = m.link( seq_source( count ), make_inc() );
+    auto b = m.link( &( a.dst ), make_inc() );
+    auto c = m.link( &( b.dst ), make_inc() );
+    m.link( &( c.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), count );
+    for( std::size_t i = 0; i < count; i += 61 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i + 3 ) );
+    }
+}
+
+TEST( integration, pool_scheduler_drives_replicated_pipeline )
+{
+    class doubler : public raft::kernel
+    {
+    public:
+        doubler()
+        {
+            input.addPort<i64>( "0" );
+            output.addPort<i64>( "0" );
+        }
+        raft::kstatus run() override
+        {
+            auto v   = input[ "0" ].pop_s<i64>();
+            auto out = output[ "0" ].allocate_s<i64>();
+            ( *out ) = 2 * ( *v );
+            return raft::proceed;
+        }
+        bool clone_supported() const override { return true; }
+        raft::kernel *clone() const override { return new doubler(); }
+    };
+    const std::size_t count = 3000;
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( count ),
+                                raft::kernel::make<doubler>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    raft::run_options o;
+    o.scheduler         = raft::scheduler_kind::pool;
+    o.pool_threads      = 3;
+    o.replication_width = 3;
+    m.exe( o );
+    ASSERT_EQ( out.size(), count );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 2 * i ) );
+    }
+}
+
+TEST( integration, exception_from_replica_reaches_caller )
+{
+    class fragile : public raft::kernel
+    {
+    public:
+        fragile()
+        {
+            input.addPort<i64>( "0" );
+            output.addPort<i64>( "0" );
+        }
+        raft::kstatus run() override
+        {
+            auto v = input[ "0" ].pop_s<i64>();
+            if( *v == 1234 )
+            {
+                throw std::runtime_error( "replica exploded" );
+            }
+            output[ "0" ].push<i64>( *v );
+            return raft::proceed;
+        }
+        bool clone_supported() const override { return true; }
+        raft::kernel *clone() const override { return new fragile(); }
+    };
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>( seq_source( 5000 ),
+                                raft::kernel::make<fragile>() );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    raft::run_options o;
+    o.replication_width = 3;
+    EXPECT_THROW( m.exe( o ), std::runtime_error );
+}
+
+TEST( integration, repeated_fresh_maps_are_independent )
+{
+    for( int round = 0; round < 5; ++round )
+    {
+        std::vector<i64> out;
+        raft::map m;
+        m.link( seq_source( 100 ),
+                raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( out ) ) );
+        m.exe();
+        ASSERT_EQ( out.size(), 100u ) << "round " << round;
+    }
+}
+
+TEST( integration, wide_fan_out_with_multiple_sinks )
+{
+    const std::size_t count = 2000;
+    class fanout3 : public raft::kernel
+    {
+    public:
+        fanout3()
+        {
+            input.addPort<i64>( "0" );
+            output.addPort<i64>( "0", "1", "2" );
+        }
+        raft::kstatus run() override
+        {
+            auto v = input[ "0" ].pop_s<i64>();
+            for( const auto *name : { "0", "1", "2" } )
+            {
+                output[ name ].push<i64>( *v );
+            }
+            return raft::proceed;
+        }
+    };
+    std::vector<i64> a, b, c;
+    raft::map m;
+    auto *fan = raft::kernel::make<fanout3>();
+    m.link( seq_source( count ), fan );
+    m.link( fan, "0",
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( a ) ),
+            "0" );
+    m.link( fan, "1",
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( b ) ),
+            "0" );
+    m.link( fan, "2",
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( c ) ),
+            "0" );
+    m.exe();
+    EXPECT_EQ( a.size(), count );
+    EXPECT_EQ( b, a );
+    EXPECT_EQ( c, a );
+}
+
+TEST( integration, sum_tree_reduction )
+{
+    /** 4 sources summed pairwise then together: 3 sum kernels **/
+    const std::size_t count = 4000;
+    std::vector<i64> out;
+    raft::map m;
+    auto *s1 = raft::kernel::make<raft::sum<i64, i64, i64>>();
+    auto *s2 = raft::kernel::make<raft::sum<i64, i64, i64>>();
+    auto *s3 = raft::kernel::make<raft::sum<i64, i64, i64>>();
+    m.link( seq_source( count ), s1, "input_a" );
+    m.link( seq_source( count ), s1, "input_b" );
+    m.link( seq_source( count ), s2, "input_a" );
+    m.link( seq_source( count ), s2, "input_b" );
+    m.link( s1, "sum", s3, "input_a" );
+    m.link( s2, "sum", s3, "input_b" );
+    m.link( s3, raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), count );
+    for( std::size_t i = 0; i < count; i += 119 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 4 * i ) );
+    }
+}

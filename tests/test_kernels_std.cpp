@@ -1,0 +1,324 @@
+/**
+ * The standard kernel library: generate, print, read_each/write_each
+ * (Figure 5), for_each + range_reduce (Figure 6), reduce, lambdak
+ * (Figure 7), seq_tag/reorder and filereader.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <list>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+} /** end anonymous namespace **/
+
+TEST( kernels, generate_deterministic_function )
+{
+    std::vector<i64> out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                5, []( std::size_t i ) { return i64( i * i ); } ),
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_EQ( out, ( std::vector<i64>{ 0, 1, 4, 9, 16 } ) );
+}
+
+TEST( kernels, generate_default_random_is_seeded_per_instance )
+{
+    std::vector<i64> a, b;
+    {
+        raft::map m;
+        m.link( raft::kernel::make<raft::generate<i64>>( 8 ),
+                raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( a ) ) );
+        m.exe();
+    }
+    {
+        raft::map m;
+        m.link( raft::kernel::make<raft::generate<i64>>( 8 ),
+                raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( b ) ) );
+        m.exe();
+    }
+    EXPECT_EQ( a.size(), 8u );
+    EXPECT_EQ( b.size(), 8u );
+    EXPECT_NE( a, b ); /** different kernel ids → different streams **/
+}
+
+TEST( kernels, figure5_container_roundtrip )
+{
+    /** data source container **/
+    std::vector<u32> v;
+    int i = 0;
+    auto func = [ & ]() { return i++; };
+    while( i < 1000 )
+    {
+        v.push_back( func() );
+    }
+    /** receiver container **/
+    std::vector<u32> o;
+    raft::map map;
+    map.link( raft::kernel::make<raft::read_each<u32>>( v.begin(),
+                                                        v.end() ),
+              raft::kernel::make<raft::write_each<u32>>(
+                  std::back_inserter( o ) ) );
+    map.exe();
+    /** data is now copied to 'o' **/
+    EXPECT_EQ( o, v );
+}
+
+TEST( kernels, read_each_works_with_non_random_access_iterators )
+{
+    std::list<int> src{ 5, 4, 3, 2, 1 };
+    std::vector<int> out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::read_each<int>>( src.begin(),
+                                                      src.end() ),
+            raft::kernel::make<raft::write_each<int>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_EQ( out, ( std::vector<int>{ 5, 4, 3, 2, 1 } ) );
+}
+
+TEST( kernels, read_each_empty_range )
+{
+    std::vector<int> src, out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::read_each<int>>( src.begin(),
+                                                      src.end() ),
+            raft::kernel::make<raft::write_each<int>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_TRUE( out.empty() );
+}
+
+TEST( kernels, figure6_for_each_zero_copy_reduce )
+{
+    /** int *arr = { 0, ..., N }; reduce to a single value **/
+    std::vector<int> arr( 4096 );
+    std::iota( arr.begin(), arr.end(), 0 );
+    int val = 0;
+    raft::map map;
+    map.link( raft::kernel::make<raft::for_each<int>>( arr.data(),
+                                                       arr.size(), 256 ),
+              raft::kernel::make<raft::range_reduce<int>>( val ) );
+    map.exe();
+    /** val now has the result **/
+    EXPECT_EQ( val, std::accumulate( arr.begin(), arr.end(), 0 ) );
+}
+
+TEST( kernels, for_each_segments_point_into_user_memory )
+{
+    std::vector<double> arr( 100, 1.5 );
+    std::vector<raft::range<double>> segs;
+    raft::map m;
+    m.link( raft::kernel::make<raft::for_each<double>>( arr.data(),
+                                                        arr.size(), 32 ),
+            raft::kernel::make<raft::write_each<raft::range<double>>>(
+                std::back_inserter( segs ) ) );
+    m.exe();
+    ASSERT_EQ( segs.size(), 4u ); /** 32+32+32+4 **/
+    std::size_t covered = 0;
+    for( const auto &s : segs )
+    {
+        /** zero copy: descriptors point into the caller's array **/
+        EXPECT_EQ( s.data, arr.data() + s.offset );
+        covered += s.len;
+    }
+    EXPECT_EQ( covered, arr.size() );
+    EXPECT_EQ( segs.back().len, 4u );
+}
+
+TEST( kernels, reduce_with_custom_functor )
+{
+    i64 result = 1;
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                5, []( std::size_t i ) { return i64( i + 1 ); } ),
+            raft::kernel::make<
+                raft::reduce<i64, std::multiplies<i64>>>( result ) );
+    m.exe();
+    EXPECT_EQ( result, 120 ); /** 5! **/
+}
+
+TEST( kernels, figure7_lambda_kernel )
+{
+    std::ostringstream os;
+    raft::map map;
+    std::size_t emitted = 0;
+    map.link(
+        raft::kernel::make<raft::lambdak<u32>>(
+            0, 1,
+            [ &emitted ]( raft::Port &, raft::Port &output )
+                -> raft::kstatus {
+                if( emitted == 4 )
+                {
+                    return raft::stop;
+                }
+                auto out = output[ "0" ].allocate_s<u32>();
+                ( *out ) = static_cast<u32>( 7 * emitted++ );
+                return raft::proceed;
+            } ),
+        raft::kernel::make<raft::print<u32, ' '>>( os ) );
+    map.exe();
+    EXPECT_EQ( os.str(), "0 7 14 21 " );
+}
+
+TEST( kernels, lambdak_void_callable_proceeds_until_upstream_ends )
+{
+    std::vector<int> out;
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<raft::generate<int>>(
+            6, []( std::size_t i ) { return int( i ); } ),
+        raft::kernel::make<raft::lambdak<int>>(
+            1, 1, []( raft::Port &in, raft::Port &o ) {
+                auto v   = in[ "0" ].pop_s<int>();
+                auto w   = o[ "0" ].allocate_s<int>();
+                ( *w )   = *v + 100;
+            } ) );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<int>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_EQ( out, ( std::vector<int>{ 100, 101, 102, 103, 104,
+                                        105 } ) );
+}
+
+TEST( kernels, lambdak_multi_type_ports )
+{
+    std::vector<double> out;
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<raft::generate<int>>(
+            3, []( std::size_t i ) { return int( i ); } ),
+        raft::kernel::make<raft::lambdak<int, double>>(
+            1, 1, []( raft::Port &in, raft::Port &o ) {
+                auto v = in[ "0" ].pop_s<int>();
+                o[ "0" ].push<double>( *v + 0.5 );
+            } ) );
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<double>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_EQ( out, ( std::vector<double>{ 0.5, 1.5, 2.5 } ) );
+}
+
+TEST( kernels, lambdak_type_count_mismatch_throws )
+{
+    using bad = raft::lambdak<int, double>;
+    EXPECT_THROW( bad( 2, 1,
+                       []( raft::Port &, raft::Port & ) {
+                           return raft::stop;
+                       } ),
+                  raft::port_exception );
+}
+
+TEST( kernels, seq_item_roundtrip_preserves_order_without_parallel )
+{
+    std::vector<int> out;
+    raft::map m;
+    auto a = m.link( raft::kernel::make<raft::generate<int>>(
+                         50, []( std::size_t i ) { return int( i ); } ),
+                     raft::kernel::make<raft::seq_tag<int>>() );
+    auto b = m.link( &( a.dst ),
+                     raft::kernel::make<raft::reorder<int>>() );
+    m.link( &( b.dst ), raft::kernel::make<raft::write_each<int>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    for( int i = 0; i < 50; ++i )
+    {
+        EXPECT_EQ( out[ static_cast<std::size_t>( i ) ], i );
+    }
+}
+
+TEST( kernels, filereader_covers_file_with_overlap )
+{
+    auto corpus = std::make_shared<const std::string>(
+        std::string( 1000, 'x' ) );
+    std::vector<raft::mem_range> segs;
+    raft::map m;
+    m.link( raft::kernel::make<raft::filereader>( corpus, 3, 256 ),
+            raft::kernel::make<raft::write_each<raft::mem_range>>(
+                std::back_inserter( segs ) ) );
+    m.exe();
+    ASSERT_EQ( segs.size(), 4u );
+    std::size_t covered = 0;
+    for( std::size_t i = 0; i < segs.size(); ++i )
+    {
+        EXPECT_EQ( segs[ i ].data, corpus->data() + segs[ i ].offset );
+        EXPECT_EQ( segs[ i ].offset, covered );
+        covered += segs[ i ].body_len;
+        if( i + 1 < segs.size() )
+        {
+            EXPECT_EQ( segs[ i ].len, segs[ i ].body_len + 3 );
+        }
+        else
+        {
+            EXPECT_EQ( segs[ i ].len, segs[ i ].body_len );
+        }
+    }
+    EXPECT_EQ( covered, corpus->size() );
+}
+
+TEST( kernels, filereader_reads_real_file )
+{
+    const std::string path = "/tmp/raft_test_corpus.txt";
+    {
+        std::ofstream f( path, std::ios::binary );
+        f << "hello stream world";
+    }
+    std::vector<raft::mem_range> segs;
+    raft::map m;
+    auto *fr = raft::kernel::make<raft::filereader>( path, 0, 7 );
+    EXPECT_EQ( fr->total_bytes(), 18u );
+    m.link( fr, raft::kernel::make<raft::write_each<raft::mem_range>>(
+                    std::back_inserter( segs ) ) );
+    m.exe();
+    std::string rebuilt;
+    for( const auto &s : segs )
+    {
+        rebuilt.append( s.data, s.body_len );
+    }
+    EXPECT_EQ( rebuilt, "hello stream world" );
+    std::remove( path.c_str() );
+}
+
+TEST( kernels, filereader_missing_file_throws )
+{
+    EXPECT_THROW(
+        raft::filereader( std::string( "/nonexistent/raft.txt" ), 0 ),
+        raft::raft_exception );
+}
+
+TEST( kernels, eos_signal_delivered_with_final_element )
+{
+    raft::ring_buffer<int> probe( 8 );
+    class prober : public raft::kernel
+    {
+    public:
+        raft::signal last_sig{ raft::none };
+        prober() { input.addPort<int>( "0" ); }
+        raft::kstatus run() override
+        {
+            auto v    = input[ "0" ].pop_s<int>();
+            last_sig  = v.sig();
+            return raft::proceed;
+        }
+    };
+    raft::map m;
+    auto *pk = raft::kernel::make<prober>();
+    m.link( raft::kernel::make<raft::generate<int>>(
+                3, []( std::size_t i ) { return int( i ); } ),
+            pk );
+    m.exe();
+    EXPECT_EQ( pk->last_sig, raft::eos );
+}

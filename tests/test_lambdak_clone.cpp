@@ -1,0 +1,73 @@
+/**
+ * Lambda-kernel replication (§4.2: lambda kernels "can be duplicated and
+ * distributed" when captures are safe): set_clonable opt-in, replication
+ * under raft::out, and the default (non-clonable) protection against the
+ * by-reference-capture hazard the paper calls out.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+using i64 = std::int64_t;
+} /** end anonymous namespace **/
+
+TEST( lambdak_clone, not_clonable_by_default )
+{
+    raft::lambdak<i64> k( 1, 1, []( raft::Port &in, raft::Port &out ) {
+        auto v = in[ "0" ].pop_s<i64>();
+        out[ "0" ].push<i64>( *v );
+    } );
+    EXPECT_FALSE( k.clone_supported() );
+    EXPECT_EQ( k.clone(), nullptr );
+}
+
+TEST( lambdak_clone, opt_in_produces_equivalent_kernels )
+{
+    raft::lambdak<i64> k( 1, 1, []( raft::Port &in, raft::Port &out ) {
+        auto v = in[ "0" ].pop_s<i64>();
+        out[ "0" ].push<i64>( *v * 7 );
+    } );
+    k.set_clonable();
+    ASSERT_TRUE( k.clone_supported() );
+    std::unique_ptr<raft::kernel> c( k.clone() );
+    ASSERT_NE( c, nullptr );
+    EXPECT_EQ( c->input.count(), 1u );
+    EXPECT_EQ( c->output.count(), 1u );
+    EXPECT_TRUE( c->clone_supported() ); /** clonability inherited **/
+}
+
+TEST( lambdak_clone, replicated_lambda_pipeline_correct )
+{
+    const std::size_t count = 6000;
+    auto *lk = raft::kernel::make<raft::lambdak<i64>>(
+        1, 1, []( raft::Port &in, raft::Port &out ) {
+            auto v = in[ "0" ].pop_s<i64>();
+            out[ "0" ].push<i64>( *v + 5 );
+        } );
+    lk->set_clonable(); /** value-captured (captureless): safe **/
+
+    std::vector<i64> out;
+    raft::map m;
+    auto p = m.link<raft::out>(
+        raft::kernel::make<raft::generate<i64>>(
+            count, []( std::size_t i ) { return i64( i ); } ),
+        lk );
+    m.link<raft::out>( &( p.dst ),
+                       raft::kernel::make<raft::write_each<i64>>(
+                           std::back_inserter( out ) ) );
+    raft::run_options o;
+    o.replication_width = 3;
+    m.exe( o );
+    EXPECT_GT( m.graph().kernels().size(), 3u );
+    ASSERT_EQ( out.size(), count );
+    std::sort( out.begin(), out.end() );
+    for( std::size_t i = 0; i < count; i += 97 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i + 5 ) );
+    }
+}

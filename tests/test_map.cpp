@@ -1,0 +1,239 @@
+/**
+ * map assembly and execution: link resolution, the exe()-time checks the
+ * paper names (connectivity, per-link type checking with arithmetic
+ * conversion), scheduler selection, statistics plumbing, and the Figure 3
+ * assembly style.
+ */
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+
+raft::generate<i64> *seq_source( const std::size_t n,
+                                 const i64 scale = 1 )
+{
+    return raft::kernel::make<raft::generate<i64>>(
+        n, [ scale ]( std::size_t i ) {
+            return static_cast<i64>( i ) * scale;
+        } );
+}
+
+} /** end anonymous namespace **/
+
+TEST( map, empty_map_throws )
+{
+    raft::map m;
+    EXPECT_THROW( m.exe(), raft::graph_exception );
+}
+
+TEST( map, null_kernel_throws )
+{
+    raft::map m;
+    EXPECT_THROW( m.link( nullptr, seq_source( 1 ) ),
+                  raft::graph_exception );
+}
+
+TEST( map, figure3_sum_application )
+{
+    const std::size_t count = 100000;
+    std::vector<i64> out;
+    raft::map map;
+    auto linked_kernels = map.link(
+        seq_source( count ),
+        raft::kernel::make<raft::sum<i64, i64, i64>>(), "input_a" );
+    map.link( seq_source( count, 10 ), &( linked_kernels.dst ),
+              "input_b" );
+    map.link( &( linked_kernels.dst ),
+              raft::kernel::make<raft::write_each<i64>>(
+                  std::back_inserter( out ) ) );
+    map.exe();
+    ASSERT_EQ( out.size(), count );
+    for( std::size_t i = 0; i < count; i += 997 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( i * 11 ) );
+    }
+}
+
+TEST( map, print_kernel_writes_stream )
+{
+    std::ostringstream os;
+    raft::map m;
+    m.link( seq_source( 3 ),
+            raft::kernel::make<raft::print<i64, ','>>( os ) );
+    m.exe();
+    EXPECT_EQ( os.str(), "0,1,2," );
+}
+
+TEST( map, double_link_same_port_throws )
+{
+    raft::map m;
+    auto *src  = seq_source( 1 );
+    auto *dst1 = raft::kernel::make<raft::print<i64>>();
+    m.link( src, dst1 );
+    auto *dst2 = raft::kernel::make<raft::print<i64>>();
+    EXPECT_THROW( m.link( src, dst2 ), raft::port_exception );
+}
+
+TEST( map, disconnected_graph_throws )
+{
+    raft::map m;
+    m.link( seq_source( 1 ), raft::kernel::make<raft::print<i64>>() );
+    m.link( seq_source( 1 ), raft::kernel::make<raft::print<i64>>() );
+    EXPECT_THROW( m.exe(), raft::graph_exception );
+}
+
+TEST( map, unlinked_port_throws )
+{
+    raft::map m;
+    auto *s = raft::kernel::make<raft::sum<i64, i64, i64>>();
+    m.link( seq_source( 4 ), s, "input_a" );
+    m.link( s, raft::kernel::make<raft::print<i64>>() );
+    /** input_b never linked **/
+    EXPECT_THROW( m.exe(), raft::graph_exception );
+}
+
+TEST( map, exe_twice_throws )
+{
+    raft::map m;
+    m.link( seq_source( 2 ), raft::kernel::make<raft::print<i64>>(
+                                 *new std::ostringstream ) );
+    raft::run_options o;
+    m.exe( o );
+    EXPECT_THROW( m.exe( o ), raft::graph_exception );
+}
+
+TEST( map, arithmetic_link_types_converted )
+{
+    /** int32 source feeding a double sink: the runtime splices a
+     *  conversion adapter (§4.2 narrowest-convertible-type behaviour) **/
+    std::vector<double> out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<std::int32_t>>(
+                64, []( std::size_t i ) {
+                    return static_cast<std::int32_t>( i );
+                } ),
+            raft::kernel::make<raft::write_each<double>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 64u );
+    for( std::size_t i = 0; i < out.size(); ++i )
+    {
+        EXPECT_DOUBLE_EQ( out[ i ], static_cast<double>( i ) );
+    }
+}
+
+TEST( map, incompatible_link_types_throw )
+{
+    struct payload
+    {
+        int x;
+    };
+    class payload_sink : public raft::kernel
+    {
+    public:
+        payload_sink() { input.addPort<payload>( "0" ); }
+        raft::kstatus run() override { return raft::stop; }
+    };
+    raft::map m;
+    m.link( seq_source( 1 ), raft::kernel::make<payload_sink>() );
+    EXPECT_THROW( m.exe(), raft::link_type_exception );
+}
+
+TEST( map, stats_snapshot_populated )
+{
+    raft::runtime::perf_snapshot snap;
+    raft::run_options opts;
+    opts.stats_out     = &snap;
+    opts.monitor_delta = std::chrono::microseconds( 50 );
+    const std::size_t count = 5000;
+    std::vector<i64> out;
+    raft::map m;
+    m.link( seq_source( count ),
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( out ) ) );
+    m.exe( opts );
+    ASSERT_EQ( snap.streams.size(), 1u );
+    const auto &s = snap.streams.front();
+    EXPECT_EQ( s.pushed, count );
+    EXPECT_EQ( s.popped, count );
+    EXPECT_EQ( s.element_size, sizeof( i64 ) );
+    EXPECT_GT( snap.wall_seconds, 0.0 );
+    EXPECT_GT( s.service_rate_hz, 0.0 );
+    EXPECT_GE( s.mean_utilization, 0.0 );
+    EXPECT_LE( s.mean_utilization, 1.0 );
+    EXPECT_NE( s.src_kernel.find( "generate" ), std::string::npos );
+}
+
+TEST( map, pool_scheduler_runs_sum_app )
+{
+    const std::size_t count = 2000;
+    std::vector<i64> out;
+    raft::map map;
+    auto linked = map.link(
+        seq_source( count ),
+        raft::kernel::make<raft::sum<i64, i64, i64>>(), "input_a" );
+    map.link( seq_source( count, 2 ), &( linked.dst ), "input_b" );
+    map.link( &( linked.dst ),
+              raft::kernel::make<raft::write_each<i64>>(
+                  std::back_inserter( out ) ) );
+    raft::run_options opts;
+    opts.scheduler    = raft::scheduler_kind::pool;
+    opts.pool_threads = 3;
+    map.exe( opts );
+    ASSERT_EQ( out.size(), count );
+    for( std::size_t i = 0; i < count; i += 101 )
+    {
+        EXPECT_EQ( out[ i ], static_cast<i64>( 3 * i ) );
+    }
+}
+
+TEST( map, tiny_queues_without_resize_still_complete )
+{
+    raft::run_options opts;
+    opts.initial_queue_capacity = 2;
+    opts.dynamic_resize         = false;
+    std::vector<i64> out;
+    raft::map m;
+    m.link( seq_source( 10000 ),
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( out ) ) );
+    m.exe( opts );
+    EXPECT_EQ( out.size(), 10000u );
+}
+
+TEST( map, kernel_exception_propagates_to_caller )
+{
+    class bomb : public raft::kernel
+    {
+    public:
+        bomb() { input.addPort<i64>( "0" ); }
+        raft::kstatus run() override
+        {
+            (void) input[ "0" ].pop<i64>();
+            throw std::runtime_error( "kernel failure" );
+        }
+    };
+    raft::map m;
+    m.link( seq_source( 100 ), raft::kernel::make<bomb>() );
+    EXPECT_THROW( m.exe(), std::runtime_error );
+}
+
+TEST( map, graph_introspection_reflects_links )
+{
+    raft::map m;
+    auto p = m.link( seq_source( 1 ),
+                     raft::kernel::make<raft::print<i64>>(
+                         *new std::ostringstream ) );
+    (void) p;
+    EXPECT_EQ( m.graph().edges().size(), 1u );
+    EXPECT_EQ( m.graph().kernels().size(), 2u );
+    EXPECT_TRUE( m.graph().connected() );
+    EXPECT_EQ( m.owned_kernel_count(), 2u );
+}

@@ -1,0 +1,168 @@
+/**
+ * Small utilities and remaining corners: power-of-two math, demangling,
+ * topology introspection, the buffer-cap "engineering solution" (§3), and
+ * conversion-adapter value fidelity.
+ */
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <vector>
+
+#include <raft.hpp>
+
+TEST( defs, pow2_helpers )
+{
+    using raft::detail::is_pow2;
+    using raft::detail::pow2_ceil;
+    EXPECT_EQ( pow2_ceil( 0 ), 1u );
+    EXPECT_EQ( pow2_ceil( 1 ), 1u );
+    EXPECT_EQ( pow2_ceil( 3 ), 4u );
+    EXPECT_EQ( pow2_ceil( 4 ), 4u );
+    EXPECT_EQ( pow2_ceil( 1000 ), 1024u );
+    EXPECT_TRUE( is_pow2( 1 ) );
+    EXPECT_TRUE( is_pow2( 64 ) );
+    EXPECT_FALSE( is_pow2( 0 ) );
+    EXPECT_FALSE( is_pow2( 12 ) );
+}
+
+TEST( defs, demangle_produces_readable_names )
+{
+    const auto name =
+        raft::detail::demangle( typeid( std::vector<int> ) );
+    EXPECT_NE( name.find( "vector" ), std::string::npos );
+}
+
+TEST( topology, edge_queries )
+{
+    class stub : public raft::kernel
+    {
+    public:
+        stub()
+        {
+            input.addPort<int>( "in" );
+            output.addPort<int>( "out" );
+        }
+        raft::kstatus run() override { return raft::stop; }
+    };
+    stub a, b, c;
+    raft::topology t;
+    t.add_edge( raft::edge{ &a, "out", &b, "in", raft::in_order } );
+    t.add_edge( raft::edge{ &b, "out", &c, "in", raft::out } );
+    EXPECT_EQ( t.kernels().size(), 3u );
+    EXPECT_EQ( t.out_edges( &b ).size(), 1u );
+    EXPECT_EQ( t.in_edges( &b ).size(), 1u );
+    EXPECT_EQ( t.out_edges( &c ).size(), 0u );
+    EXPECT_TRUE( t.connected() );
+    EXPECT_EQ( t.index_of( &c ), 2u );
+    EXPECT_EQ( t.out_edges( &b ).front()->ord, raft::out );
+
+    raft::topology empty;
+    EXPECT_FALSE( empty.connected() );
+    EXPECT_TRUE( empty.empty() );
+}
+
+TEST( buffer_cap, max_capacity_is_the_infinite_queue_answer )
+{
+    /** §3: "If the queue is destined to be of infinite size, a simple
+     *  engineering solution presents itself in the form of a buffer
+     *  cap." A source far outpacing its sink must not grow past the
+     *  configured cap. **/
+    using i64 = std::int64_t;
+    raft::runtime::perf_snapshot snap;
+    raft::run_options o;
+    o.initial_queue_capacity = 4;
+    o.max_queue_capacity     = 64;
+    o.monitor_delta          = std::chrono::microseconds( 20 );
+    o.stats_out              = &snap;
+
+    class slow_sink : public raft::kernel
+    {
+    public:
+        slow_sink() { input.addPort<i64>( "0" ); }
+        raft::kstatus run() override
+        {
+            auto v           = input[ "0" ].pop_s<i64>();
+            volatile i64 acc = *v;
+            for( int i = 0; i < 2000; ++i )
+            {
+                acc = acc + i;
+            }
+            return raft::proceed;
+        }
+    };
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                30'000, []( std::size_t i ) { return i64( i ); } ),
+            raft::kernel::make<slow_sink>() );
+    m.exe( o );
+    ASSERT_EQ( snap.streams.size(), 1u );
+    EXPECT_LE( snap.streams.front().final_capacity, 64u );
+    EXPECT_GE( snap.streams.front().final_capacity, 4u );
+    EXPECT_EQ( snap.streams.front().popped, 30'000u );
+}
+
+TEST( convert_kernel, float_values_survive_conversion )
+{
+    std::vector<float> out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<double>>(
+                16,
+                []( std::size_t i ) {
+                    return 0.5 * static_cast<double>( i );
+                } ),
+            raft::kernel::make<raft::write_each<float>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 16u );
+    for( std::size_t i = 0; i < out.size(); ++i )
+    {
+        EXPECT_FLOAT_EQ( out[ i ],
+                         0.5f * static_cast<float>( i ) );
+    }
+}
+
+TEST( convert_kernel, narrowing_integer_conversion )
+{
+    std::vector<std::int16_t> out;
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<std::int64_t>>(
+                8,
+                []( std::size_t i ) {
+                    return static_cast<std::int64_t>( i * 100 );
+                } ),
+            raft::kernel::make<raft::write_each<std::int16_t>>(
+                std::back_inserter( out ) ) );
+    m.exe();
+    ASSERT_EQ( out.size(), 8u );
+    EXPECT_EQ( out[ 7 ], 700 );
+}
+
+TEST( run_options, defaults_match_paper )
+{
+    const raft::run_options o;
+    EXPECT_EQ( o.monitor_delta, std::chrono::microseconds( 10 ) );
+    EXPECT_TRUE( o.dynamic_resize );
+    EXPECT_TRUE( o.enable_auto_parallel );
+    EXPECT_EQ( o.scheduler, raft::scheduler_kind::thread_per_kernel );
+    EXPECT_EQ( o.split_strategy, raft::split_kind::least_utilized );
+}
+
+TEST( kernel_pair, references_are_reusable_across_links )
+{
+    using i64 = std::int64_t;
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<raft::generate<i64>>(
+            4, []( std::size_t i ) { return i64( i ); } ),
+        raft::kernel::make<raft::sum<i64, i64, i64>>(), "input_a" );
+    /** both src and dst of the pair are usable later, Figure 3 style **/
+    EXPECT_NE( p.src.name().find( "generate" ), std::string::npos );
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                4, []( std::size_t i ) { return i64( i ); } ),
+            &( p.dst ), "input_b" );
+    std::vector<i64> out;
+    m.link( &( p.dst ), raft::kernel::make<raft::write_each<i64>>(
+                            std::back_inserter( out ) ) );
+    m.exe();
+    EXPECT_EQ( out, ( std::vector<i64>{ 0, 2, 4, 6 } ) );
+}

@@ -1,0 +1,158 @@
+/**
+ * Buffer-size optimizers (§3/§4.1): branch-and-bound exactness, budget
+ * feasibility, monotone pruning, and simulated annealing quality on
+ * model-derived objectives.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include <queueing/models.hpp>
+#include <queueing/optimize.hpp>
+
+using namespace raft::queueing;
+
+namespace {
+
+/** Figure-4-shaped objective: stalls dominate when small, paging-like
+ *  penalty grows when large — minimum at an interior size. */
+double fig4_like_cost( const std::vector<std::size_t> &sizes )
+{
+    double cost = 0.0;
+    for( const auto s : sizes )
+    {
+        const auto x = static_cast<double>( s );
+        cost += 100.0 / x + 0.01 * x;
+    }
+    return cost;
+}
+
+/** Pure blocking objective: non-increasing in every size. */
+double blocking_cost( const std::vector<std::size_t> &sizes )
+{
+    double cost = 0.0;
+    for( const auto s : sizes )
+    {
+        cost += mm1k{ 0.9, 1.0, s }.blocking_probability();
+    }
+    return cost;
+}
+
+} /** end anonymous namespace **/
+
+TEST( size_ladder, powers_of_two_within_bounds )
+{
+    optimize_options o;
+    o.min_size = 4;
+    o.max_size = 64;
+    const auto l = size_ladder( o );
+    EXPECT_EQ( l, ( std::vector<std::size_t>{ 4, 8, 16, 32, 64 } ) );
+    o.max_size = 63;
+    EXPECT_EQ( size_ladder( o ).back(), 32u );
+    o.min_size = 0;
+    EXPECT_THROW( size_ladder( o ), std::invalid_argument );
+}
+
+TEST( branch_and_bound, finds_interior_optimum )
+{
+    optimize_options o;
+    o.min_size = 2;
+    o.max_size = 4096;
+    const auto r = branch_and_bound( 2, fig4_like_cost, o );
+    /** per queue: min of 100/x + 0.01x over the ladder is x = 128 **/
+    EXPECT_EQ( r.sizes,
+               ( std::vector<std::size_t>{ 128, 128 } ) );
+    EXPECT_GT( r.evaluations, 0u );
+}
+
+TEST( branch_and_bound, respects_memory_budget )
+{
+    optimize_options o;
+    o.min_size        = 2;
+    o.max_size        = 4096;
+    o.budget_elements = 96; /** cannot afford 128 + 128 **/
+    const auto r = branch_and_bound( 2, fig4_like_cost, o );
+    const auto total = std::accumulate( r.sizes.begin(), r.sizes.end(),
+                                        std::size_t{ 0 } );
+    EXPECT_LE( total, 96u );
+    /** best split under the budget: 64 + 32 or 32 + 64 **/
+    EXPECT_EQ( total, 96u );
+}
+
+TEST( branch_and_bound, infeasible_budget_throws )
+{
+    optimize_options o;
+    o.min_size        = 8;
+    o.max_size        = 64;
+    o.budget_elements = 4;
+    EXPECT_THROW( branch_and_bound( 1, fig4_like_cost, o ),
+                  std::runtime_error );
+}
+
+TEST( branch_and_bound, monotone_pruning_matches_exhaustive )
+{
+    optimize_options o;
+    o.min_size = 2;
+    o.max_size = 256;
+    const auto exact  = branch_and_bound( 3, blocking_cost, o, false );
+    const auto pruned = branch_and_bound( 3, blocking_cost, o, true );
+    EXPECT_DOUBLE_EQ( exact.cost, pruned.cost );
+    EXPECT_EQ( exact.sizes, pruned.sizes );
+    /** pruning must not cost more objective evaluations than brute **/
+    EXPECT_LE( pruned.evaluations, exact.evaluations * 2 );
+}
+
+TEST( simulated_annealing, near_optimal_on_fig4_objective )
+{
+    optimize_options o;
+    o.min_size = 2;
+    o.max_size = 4096;
+    annealing_options ann;
+    ann.iterations = 4000;
+    const auto exact = branch_and_bound( 2, fig4_like_cost, o );
+    const auto sa    = simulated_annealing( 2, fig4_like_cost, o, ann );
+    EXPECT_LE( sa.cost, exact.cost * 1.10 ); /** within 10% **/
+}
+
+TEST( simulated_annealing, scales_to_many_queues )
+{
+    optimize_options o;
+    o.min_size = 2;
+    o.max_size = 1024;
+    annealing_options ann;
+    ann.iterations = 6000;
+    const auto r = simulated_annealing( 12, fig4_like_cost, o, ann );
+    /** per-queue optimum is 128 (cost ≈ 2.06); allow slack **/
+    const double per_queue_opt = 100.0 / 128.0 + 0.01 * 128.0;
+    EXPECT_LE( r.cost, 12 * per_queue_opt * 1.25 );
+    EXPECT_EQ( r.sizes.size(), 12u );
+}
+
+TEST( simulated_annealing, honours_budget_throughout )
+{
+    optimize_options o;
+    o.min_size        = 2;
+    o.max_size        = 1024;
+    o.budget_elements = 256;
+    annealing_options ann;
+    ann.iterations = 3000;
+    const auto r = simulated_annealing( 4, fig4_like_cost, o, ann );
+    EXPECT_LE( std::accumulate( r.sizes.begin(), r.sizes.end(),
+                                std::size_t{ 0 } ),
+               256u );
+}
+
+TEST( simulated_annealing, deterministic_for_seed )
+{
+    optimize_options o;
+    o.min_size = 2;
+    o.max_size = 512;
+    annealing_options ann;
+    ann.iterations = 500;
+    ann.seed       = 11;
+    const auto a = simulated_annealing( 3, fig4_like_cost, o, ann );
+    const auto b = simulated_annealing( 3, fig4_like_cost, o, ann );
+    EXPECT_EQ( a.sizes, b.sizes );
+    EXPECT_DOUBLE_EQ( a.cost, b.cost );
+}

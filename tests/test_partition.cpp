@@ -1,0 +1,222 @@
+/**
+ * The kernel-to-resource mapper (§4.1): validity of assignments, the
+ * minimal-crossing objective on structured topologies, even sharing on
+ * flat machines, and the machine model's latency hierarchy.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <core/kernels/generate.hpp>
+#include <core/kernels/print.hpp>
+#include <mapping/partition.hpp>
+
+using namespace raft::mapping;
+
+namespace {
+
+/** Minimal concrete kernel for topology-building. */
+class node_kernel : public raft::kernel
+{
+public:
+    node_kernel()
+    {
+        input.addPort<int>( "in" );
+        output.addPort<int>( "out" );
+    }
+    raft::kstatus run() override { return raft::stop; }
+};
+
+/** Build a linear chain of n kernels; returns owning storage + topology. */
+struct chain
+{
+    std::vector<std::unique_ptr<node_kernel>> kernels;
+    raft::topology topo;
+
+    explicit chain( const std::size_t n )
+    {
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            kernels.push_back( std::make_unique<node_kernel>() );
+        }
+        for( std::size_t i = 0; i + 1 < n; ++i )
+        {
+            topo.add_edge( raft::edge{ kernels[ i ].get(), "out",
+                                       kernels[ i + 1 ].get(), "in",
+                                       raft::in_order } );
+        }
+    }
+};
+
+std::vector<unsigned> socket_of_core( const machine_desc &m )
+{
+    std::vector<unsigned> g( m.cores.size() );
+    for( std::size_t i = 0; i < m.cores.size(); ++i )
+    {
+        g[ m.cores[ i ].id ] = m.cores[ i ].socket;
+    }
+    return g;
+}
+
+std::vector<unsigned> node_of_core( const machine_desc &m )
+{
+    std::vector<unsigned> g( m.cores.size() );
+    for( std::size_t i = 0; i < m.cores.size(); ++i )
+    {
+        g[ m.cores[ i ].id ] = m.cores[ i ].node;
+    }
+    return g;
+}
+
+} /** end anonymous namespace **/
+
+TEST( machine_model, synthetic_geometry )
+{
+    const auto m = machine_desc::synthetic( 2, 2, 4 );
+    EXPECT_EQ( m.core_count(), 16u );
+    EXPECT_EQ( m.cores[ 0 ].node, 0u );
+    EXPECT_EQ( m.cores[ 15 ].node, 1u );
+    EXPECT_EQ( m.cores[ 15 ].socket, 3u );
+}
+
+TEST( machine_model, latency_hierarchy_ordered )
+{
+    const auto m   = machine_desc::synthetic( 2, 2, 2 );
+    const auto &c0 = m.cores[ 0 ];
+    const auto &c1 = m.cores[ 1 ]; /** same socket **/
+    const auto &c2 = m.cores[ 2 ]; /** other socket, same node **/
+    const auto &c4 = m.cores[ 4 ]; /** other node **/
+    EXPECT_LT( m.link_latency( c0, c0 ), m.link_latency( c0, c1 ) );
+    EXPECT_LT( m.link_latency( c0, c1 ), m.link_latency( c0, c2 ) );
+    EXPECT_LT( m.link_latency( c0, c2 ), m.link_latency( c0, c4 ) );
+}
+
+TEST( machine_model, detect_matches_hardware )
+{
+    const auto m = machine_desc::detect();
+    EXPECT_GE( m.core_count(), 1u );
+    EXPECT_EQ( m.cores[ 0 ].node, 0u );
+}
+
+TEST( partitioner, every_kernel_gets_a_valid_core )
+{
+    chain app( 9 );
+    const auto m = machine_desc::synthetic( 1, 2, 4 );
+    const auto a = partition( app.topo, m );
+    ASSERT_EQ( a.core_of.size(), 9u );
+    for( const auto c : a.core_of )
+    {
+        EXPECT_LT( c, m.core_count() );
+    }
+}
+
+TEST( partitioner, chain_on_two_sockets_minimal_crossing )
+{
+    chain app( 8 );
+    const auto m = machine_desc::synthetic( 1, 2, 4 );
+    const auto a = partition( app.topo, m );
+    /** a linear chain split across two sockets needs exactly 1 crossing **/
+    EXPECT_EQ( crossing_count( app.topo, a, m, socket_of_core( m ) ),
+               1u );
+}
+
+TEST( partitioner, chain_on_two_nodes_minimal_crossing )
+{
+    chain app( 12 );
+    const auto m = machine_desc::synthetic( 2, 1, 3 );
+    const auto a = partition( app.topo, m );
+    EXPECT_EQ( crossing_count( app.topo, a, m, node_of_core( m ) ),
+               1u );
+}
+
+TEST( partitioner, flat_machine_shares_evenly )
+{
+    chain app( 8 );
+    const auto m = machine_desc::synthetic( 1, 1, 4 );
+    const auto a = partition( app.topo, m );
+    std::vector<int> per_core( 4, 0 );
+    for( const auto c : a.core_of )
+    {
+        ++per_core[ c ];
+    }
+    for( const auto n : per_core )
+    {
+        EXPECT_EQ( n, 2 ); /** "shared evenly amongst the cores" **/
+    }
+}
+
+TEST( partitioner, two_independent_chains_separate_cleanly )
+{
+    /** two disjoint 4-chains on 2 sockets: zero crossings possible **/
+    std::vector<std::unique_ptr<node_kernel>> ks;
+    raft::topology topo;
+    for( int c = 0; c < 2; ++c )
+    {
+        for( int i = 0; i < 4; ++i )
+        {
+            ks.push_back( std::make_unique<node_kernel>() );
+        }
+    }
+    for( int c = 0; c < 2; ++c )
+    {
+        for( int i = 0; i < 3; ++i )
+        {
+            topo.add_edge( raft::edge{ ks[ c * 4 + i ].get(), "out",
+                                       ks[ c * 4 + i + 1 ].get(), "in",
+                                       raft::in_order } );
+        }
+    }
+    const auto m = machine_desc::synthetic( 1, 2, 2 );
+    const auto a = partition( topo, m );
+    EXPECT_EQ( crossing_count( topo, a, m, socket_of_core( m ) ), 0u );
+}
+
+TEST( partitioner, more_cores_than_kernels_ok )
+{
+    chain app( 2 );
+    const auto m = machine_desc::synthetic( 1, 2, 8 );
+    const auto a = partition( app.topo, m );
+    ASSERT_EQ( a.core_of.size(), 2u );
+    for( const auto c : a.core_of )
+    {
+        EXPECT_LT( c, 16u );
+    }
+}
+
+TEST( partitioner, single_kernel_single_core )
+{
+    std::vector<std::unique_ptr<node_kernel>> ks;
+    ks.push_back( std::make_unique<node_kernel>() );
+    raft::topology topo;
+    topo.add_edge( raft::edge{ ks[ 0 ].get(), "out", ks[ 0 ].get(),
+                               "in", raft::in_order } );
+    const auto m = machine_desc::synthetic( 1, 1, 1 );
+    const auto a = partition( topo, m );
+    ASSERT_EQ( a.core_of.size(), 1u );
+    EXPECT_EQ( a.core_of[ 0 ], 0u );
+}
+
+TEST( partitioner, empty_machine_degenerates_gracefully )
+{
+    chain app( 3 );
+    machine_desc m; /** no cores **/
+    const auto a = partition( app.topo, m );
+    ASSERT_EQ( a.core_of.size(), 3u );
+}
+
+TEST( partitioner, balanced_across_sockets )
+{
+    chain app( 16 );
+    const auto m = machine_desc::synthetic( 1, 2, 8 );
+    const auto a = partition( app.topo, m );
+    const auto soc = socket_of_core( m );
+    int s0 = 0, s1 = 0;
+    for( const auto c : a.core_of )
+    {
+        ( soc[ c ] == 0 ? s0 : s1 )++;
+    }
+    EXPECT_NEAR( s0, 8, 2 );
+    EXPECT_NEAR( s1, 8, 2 );
+}

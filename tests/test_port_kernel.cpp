@@ -1,0 +1,181 @@
+/**
+ * Ports, port containers and the kernel base class: declaration rules,
+ * type-checked access, binding lifecycle, kernel::make ownership plumbing
+ * and the default pool-scheduler readiness predicate.
+ */
+#include <gtest/gtest.h>
+
+#include <core/kernel.hpp>
+#include <core/ringbuffer.hpp>
+
+namespace {
+
+class two_in_one_out : public raft::kernel
+{
+public:
+    two_in_one_out()
+    {
+        input.addPort<int>( "a", "b" );
+        output.addPort<double>( "out" );
+    }
+    raft::kstatus run() override { return raft::stop; }
+};
+
+} /** end anonymous namespace **/
+
+TEST( port_container, variadic_addport_declares_all )
+{
+    two_in_one_out k;
+    EXPECT_EQ( k.input.count(), 2u );
+    EXPECT_EQ( k.output.count(), 1u );
+    EXPECT_TRUE( k.input.has( "a" ) );
+    EXPECT_TRUE( k.input.has( "b" ) );
+    EXPECT_FALSE( k.input.has( "out" ) );
+}
+
+TEST( port_container, duplicate_name_throws )
+{
+    two_in_one_out k;
+    EXPECT_THROW( k.input.addPort<int>( "a" ), raft::port_exception );
+}
+
+TEST( port_container, unknown_name_throws )
+{
+    two_in_one_out k;
+    EXPECT_THROW( k.input[ "zzz" ], raft::port_exception );
+}
+
+TEST( port_container, iteration_in_declaration_order )
+{
+    two_in_one_out k;
+    std::vector<std::string> names;
+    for( auto &p : k.input )
+    {
+        names.push_back( p.name() );
+    }
+    ASSERT_EQ( names.size(), 2u );
+    EXPECT_EQ( names[ 0 ], "a" );
+    EXPECT_EQ( names[ 1 ], "b" );
+}
+
+TEST( port, access_before_binding_throws )
+{
+    two_in_one_out k;
+    EXPECT_THROW( k.input[ "a" ].pop<int>(), raft::port_exception );
+    EXPECT_THROW( k.input[ "a" ].raw(), raft::port_exception );
+}
+
+TEST( port, type_mismatch_throws )
+{
+    two_in_one_out k;
+    raft::ring_buffer<int> q( 4 );
+    k.input[ "a" ].bind( &q );
+    q.push( 3 );
+    EXPECT_THROW( k.input[ "a" ].pop<double>(),
+                  raft::type_mismatch_exception );
+    EXPECT_EQ( k.input[ "a" ].pop<int>(), 3 );
+}
+
+TEST( port, occupancy_views_through_binding )
+{
+    two_in_one_out k;
+    raft::ring_buffer<int> q( 8 );
+    k.input[ "a" ].bind( &q );
+    q.push( 1 );
+    q.push( 2 );
+    EXPECT_EQ( k.input[ "a" ].size(), 2u );
+    EXPECT_EQ( k.input[ "a" ].capacity(), 8u );
+    EXPECT_EQ( k.input[ "a" ].space_avail(), 6u );
+    k.input[ "a" ].recycle( 1 );
+    EXPECT_EQ( k.input[ "a" ].size(), 1u );
+    k.input[ "a" ].unbind();
+    EXPECT_EQ( k.input[ "a" ].size(), 0u ); /** unbound: empty view **/
+}
+
+TEST( port, meta_captures_type_identity )
+{
+    two_in_one_out k;
+    EXPECT_EQ( k.input[ "a" ].type(),
+               std::type_index( typeid( int ) ) );
+    EXPECT_TRUE( k.input[ "a" ].meta().arithmetic );
+    EXPECT_EQ( k.input[ "a" ].meta().size, sizeof( int ) );
+}
+
+TEST( port, meta_fifo_factory_builds_matching_ring )
+{
+    two_in_one_out k;
+    auto f = k.output[ "out" ].meta().make_fifo( 16 );
+    EXPECT_TRUE( f->value_type() == typeid( double ) );
+    EXPECT_EQ( f->capacity(), 16u );
+}
+
+TEST( kernel, ids_are_unique_and_names_informative )
+{
+    two_in_one_out a, b;
+    EXPECT_NE( a.get_id(), b.get_id() );
+    EXPECT_NE( a.name().find( "two_in_one_out" ), std::string::npos );
+    a.set_name( "custom" );
+    EXPECT_EQ( a.name(), "custom" );
+}
+
+TEST( kernel, make_marks_internal_allocation )
+{
+    auto *k = raft::kernel::make<two_in_one_out>();
+    EXPECT_TRUE( k->internally_allocated() );
+    delete k;
+    two_in_one_out on_stack;
+    EXPECT_FALSE( on_stack.internally_allocated() );
+}
+
+TEST( kernel, default_ready_accounts_inputs_and_outputs )
+{
+    two_in_one_out k;
+    raft::ring_buffer<int> qa( 4 ), qb( 4 );
+    raft::ring_buffer<double> qo( 4 );
+    k.input[ "a" ].bind( &qa );
+    k.input[ "b" ].bind( &qb );
+    k.output[ "out" ].bind( &qo );
+
+    EXPECT_FALSE( k.ready() ); /** both inputs empty **/
+    qa.push( 1 );
+    EXPECT_FALSE( k.ready() ); /** b still empty **/
+    qb.push( 2 );
+    EXPECT_TRUE( k.ready() );
+
+    /** full output blocks readiness **/
+    for( int i = 0; i < 4; ++i )
+    {
+        qo.push( 0.0 );
+    }
+    EXPECT_FALSE( k.ready() );
+    double d = 0.0;
+    qo.pop( d );
+    EXPECT_TRUE( k.ready() );
+
+    /** drained input counts as ready (run() will terminate) **/
+    int v = 0;
+    qb.pop( v );
+    qb.close_write();
+    EXPECT_TRUE( k.ready() );
+}
+
+TEST( kernel, clone_default_unsupported )
+{
+    two_in_one_out k;
+    EXPECT_FALSE( k.clone_supported() );
+    EXPECT_EQ( k.clone(), nullptr );
+}
+
+TEST( signal_bus, raise_and_sticky_term )
+{
+    raft::async_signal_bus bus;
+    EXPECT_EQ( bus.current(), raft::none );
+    bus.raise( raft::eos );
+    EXPECT_EQ( bus.current(), raft::eos );
+    bus.raise( raft::term );
+    EXPECT_TRUE( bus.termination_requested() );
+    bus.raise( raft::none ); /** term is sticky **/
+    EXPECT_TRUE( bus.termination_requested() );
+    bus.reset();
+    EXPECT_EQ( bus.current(), raft::none );
+}

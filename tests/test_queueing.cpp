@@ -1,0 +1,261 @@
+/**
+ * Queueing models (§3): M/M/1 and M/M/1/K closed forms against known
+ * values and against the discrete-event simulator; the flow model's
+ * bottleneck/throughput analysis; model-based buffer sizing.
+ */
+#include <gtest/gtest.h>
+
+#include <queueing/flow_model.hpp>
+#include <queueing/models.hpp>
+#include <sim/pipeline.hpp>
+
+using namespace raft::queueing;
+
+TEST( mm1, textbook_values )
+{
+    const mm1 q{ 0.5, 1.0 };
+    EXPECT_DOUBLE_EQ( q.rho(), 0.5 );
+    EXPECT_DOUBLE_EQ( q.mean_in_system(), 1.0 );
+    EXPECT_DOUBLE_EQ( q.mean_in_queue(), 0.5 );
+    EXPECT_DOUBLE_EQ( q.mean_sojourn(), 2.0 );
+    EXPECT_DOUBLE_EQ( q.p_n( 0 ), 0.5 );
+    EXPECT_DOUBLE_EQ( q.p_n( 1 ), 0.25 );
+}
+
+TEST( mm1, unstable_throws )
+{
+    const mm1 q{ 2.0, 1.0 };
+    EXPECT_THROW( q.mean_in_system(), std::domain_error );
+    EXPECT_THROW( q.mean_sojourn(), std::domain_error );
+    EXPECT_THROW( utilization( 1.0, 0.0 ), std::invalid_argument );
+}
+
+TEST( mm1k, blocking_limits )
+{
+    /** K → ∞ recovers M/M/1-like behaviour; tiny K blocks heavily **/
+    const mm1k small{ 0.9, 1.0, 1 };
+    const mm1k big{ 0.9, 1.0, 1000 };
+    EXPECT_GT( small.blocking_probability(), 0.3 );
+    EXPECT_LT( big.blocking_probability(), 1e-3 );
+    EXPECT_LT( big.mean_in_system(), 10.0 );
+}
+
+TEST( mm1k, rho_equal_one_special_case )
+{
+    const mm1k q{ 1.0, 1.0, 4 };
+    EXPECT_NEAR( q.blocking_probability(), 0.2, 1e-9 );
+    EXPECT_NEAR( q.mean_in_system(), 2.0, 1e-9 );
+}
+
+TEST( mm1k, blocking_monotone_decreasing_in_k )
+{
+    double prev = 1.0;
+    for( std::size_t k = 1; k <= 64; k *= 2 )
+    {
+        const auto b = ( mm1k{ 0.8, 1.0, k } ).blocking_probability();
+        EXPECT_LT( b, prev );
+        prev = b;
+    }
+}
+
+TEST( mm1k, throughput_saturates_at_service_rate )
+{
+    const mm1k q{ 5.0, 1.0, 10 }; /** overloaded **/
+    EXPECT_LE( q.throughput(), 1.0 + 1e-9 );
+    EXPECT_GT( q.throughput(), 0.95 );
+}
+
+TEST( buffer_sizing, meets_blocking_target )
+{
+    const auto k = size_buffer_for_blocking( 0.8, 1.0, 0.01 );
+    EXPECT_LE( ( mm1k{ 0.8, 1.0, k } ).blocking_probability(), 0.01 );
+    if( k > 1 )
+    {
+        const auto smaller =
+            ( mm1k{ 0.8, 1.0, k - 1 } ).blocking_probability();
+        EXPECT_GT( smaller, 0.01 );
+    }
+}
+
+TEST( buffer_sizing, higher_utilization_needs_bigger_buffers )
+{
+    const auto k_low  = size_buffer_for_blocking( 0.5, 1.0, 0.001 );
+    const auto k_high = size_buffer_for_blocking( 0.95, 1.0, 0.001 );
+    EXPECT_GT( k_high, k_low );
+}
+
+TEST( mm1, matches_discrete_event_simulation )
+{
+    /** one exponential station fed at ρ=0.7; DES occupancy ≈ theory **/
+    raft::sim::pipeline_desc d;
+    d.stages.push_back( raft::sim::stage_desc{
+        "source", 0.7, 1, 1, raft::sim::service_dist::exponential,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "server", 1.0, 1, 1u << 20,
+        raft::sim::service_dist::exponential, false } );
+    d.items = 60'000;
+    d.seed  = 99;
+    const auto r = raft::sim::simulate_pipeline( d );
+    /** arrival process ≈ Poisson(0.7): utilization of the server **/
+    EXPECT_NEAR( r.stages[ 1 ].utilization, 0.7, 0.05 );
+    /** mean number waiting in queue: Lq = ρ²/(1-ρ) ≈ 1.633 **/
+    const auto lq = mm1{ 0.7, 1.0 }.mean_in_queue();
+    EXPECT_NEAR( r.stages[ 1 ].mean_queue_len, lq, 0.45 );
+}
+
+TEST( mm1k, blocking_matches_des_with_finite_queue )
+{
+    /** finite queue: DES producer blocked-fraction tracks M/M/1/K **/
+    raft::sim::pipeline_desc d;
+    const std::size_t K = 4;
+    d.stages.push_back( raft::sim::stage_desc{
+        "source", 0.9, 1, 1, raft::sim::service_dist::exponential,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "server", 1.0, 1, K, raft::sim::service_dist::exponential,
+        false } );
+    d.items = 60'000;
+    d.seed  = 7;
+    const auto r = raft::sim::simulate_pipeline( d );
+    /** effective throughput < offered rate because of blocking **/
+    EXPECT_LT( r.throughput_items_per_s, 0.9 );
+    EXPECT_GT( r.stages[ 0 ].blocked_fraction, 0.01 );
+}
+
+TEST( flow_model, linear_chain_bottleneck )
+{
+    flow_model fm;
+    const auto a = fm.add_kernel( "source", 100.0 );
+    const auto b = fm.add_kernel( "slow", 10.0 );
+    const auto c = fm.add_kernel( "fast", 1000.0 );
+    fm.add_edge( a, b );
+    fm.add_edge( b, c );
+    const auto r = fm.solve();
+    EXPECT_EQ( r.bottleneck, b );
+    EXPECT_DOUBLE_EQ( r.source_rate, 10.0 );
+    EXPECT_DOUBLE_EQ( r.rho[ b ], 1.0 );
+    EXPECT_DOUBLE_EQ( r.arrival[ c ], 10.0 );
+}
+
+TEST( flow_model, filtering_changes_downstream_load )
+{
+    /** text search: bytes in, sparse matches out (§3 dynamic rates) **/
+    flow_model fm;
+    const auto reader = fm.add_kernel( "reader", 1000.0 );
+    const auto match  = fm.add_kernel( "match", 500.0 );
+    const auto sink   = fm.add_kernel( "sink", 50.0 );
+    fm.add_edge( reader, match, 1.0 );
+    fm.add_edge( match, sink, 0.01 ); /** 1% of elements survive **/
+    const auto r = fm.solve();
+    /** sink sees 1% of flow: not the bottleneck despite being slow **/
+    EXPECT_EQ( r.bottleneck, match );
+    EXPECT_DOUBLE_EQ( r.source_rate, 500.0 );
+    EXPECT_NEAR( r.arrival[ sink ], 5.0, 1e-9 );
+}
+
+TEST( flow_model, replication_raises_capacity )
+{
+    flow_model fm;
+    const auto src = fm.add_kernel( "src", 1000.0 );
+    const auto w1  = fm.add_kernel( "worker", 10.0, 1 );
+    fm.add_edge( src, w1 );
+    const auto serial = fm.solve();
+
+    flow_model fm4;
+    const auto src4 = fm4.add_kernel( "src", 1000.0 );
+    const auto w4   = fm4.add_kernel( "worker", 10.0, 4 );
+    fm4.add_edge( src4, w4 );
+    const auto parallel = fm4.solve();
+    EXPECT_DOUBLE_EQ( parallel.source_rate, 4 * serial.source_rate );
+}
+
+TEST( flow_model, fan_in_accumulates_flow )
+{
+    flow_model fm;
+    const auto s1 = fm.add_kernel( "s1", 100.0 );
+    const auto s2 = fm.add_kernel( "s2", 100.0 );
+    const auto j  = fm.add_kernel( "join", 150.0 );
+    fm.add_edge( s1, j );
+    fm.add_edge( s2, j );
+    const auto r = fm.solve();
+    /** both sources at rate x feed join with 2x: join limits at 75 **/
+    EXPECT_EQ( r.bottleneck, j );
+    EXPECT_DOUBLE_EQ( r.source_rate, 75.0 );
+}
+
+TEST( flow_model, cycle_rejected )
+{
+    flow_model fm;
+    const auto a = fm.add_kernel( "a", 1.0 );
+    const auto b = fm.add_kernel( "b", 1.0 );
+    fm.add_edge( a, b );
+    fm.add_edge( b, a );
+    EXPECT_THROW( fm.solve(), std::invalid_argument );
+}
+
+TEST( flow_model, target_utilization_scales_linearly )
+{
+    flow_model fm;
+    const auto a = fm.add_kernel( "a", 100.0 );
+    const auto b = fm.add_kernel( "b", 10.0 );
+    fm.add_edge( a, b );
+    EXPECT_DOUBLE_EQ( fm.solve( 0.5 ).source_rate,
+                      0.5 * fm.solve( 1.0 ).source_rate );
+}
+
+TEST( flow_model, cross_validates_against_des_pipeline )
+{
+    /** 3-stage pipeline, middle stage the bottleneck: the flow model's
+     *  predicted throughput must match the DES within a few percent **/
+    flow_model fm;
+    const auto src  = fm.add_kernel( "src", 50.0 );
+    const auto mid  = fm.add_kernel( "mid", 20.0 );
+    const auto sink = fm.add_kernel( "sink", 100.0 );
+    fm.add_edge( src, mid );
+    fm.add_edge( mid, sink );
+    const auto prediction = fm.solve();
+    EXPECT_EQ( prediction.bottleneck, mid );
+
+    raft::sim::pipeline_desc d;
+    d.stages.push_back( raft::sim::stage_desc{
+        "src", 50.0, 1, 1, raft::sim::service_dist::exponential,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "mid", 20.0, 1, 1024, raft::sim::service_dist::exponential,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "sink", 100.0, 1, 1024, raft::sim::service_dist::exponential,
+        false } );
+    d.items      = 40'000;
+    d.seed       = 17;
+    const auto r = raft::sim::simulate_pipeline( d );
+    EXPECT_NEAR( r.throughput_items_per_s, prediction.source_rate,
+                 prediction.source_rate * 0.05 );
+    /** the bottleneck saturates, the others do not **/
+    EXPECT_GT( r.stages[ 1 ].utilization, 0.95 );
+    EXPECT_LT( r.stages[ 2 ].utilization, 0.5 );
+}
+
+TEST( flow_model, replication_prediction_matches_des_multiserver )
+{
+    /** 4-way replicated worker: flow model says 4x; DES agrees **/
+    flow_model fm;
+    const auto src = fm.add_kernel( "src", 1000.0 );
+    const auto w   = fm.add_kernel( "worker", 10.0, 4 );
+    fm.add_edge( src, w );
+    const auto prediction = fm.solve();
+
+    raft::sim::pipeline_desc d;
+    d.stages.push_back( raft::sim::stage_desc{
+        "src", 1000.0, 1, 1, raft::sim::service_dist::deterministic,
+        false } );
+    d.stages.push_back( raft::sim::stage_desc{
+        "worker", 10.0, 4, 256, raft::sim::service_dist::exponential,
+        false } );
+    d.items      = 20'000;
+    d.seed       = 23;
+    const auto r = raft::sim::simulate_pipeline( d );
+    EXPECT_NEAR( r.throughput_items_per_s, prediction.source_rate,
+                 prediction.source_rate * 0.06 );
+}

@@ -1,0 +1,146 @@
+/**
+ * Reference-model property test: random operation sequences applied to
+ * ring_buffer<T> and to a trivially correct std::deque model must agree
+ * on every observable (contents, sizes, counters, exceptions), across
+ * seeds, capacities and interleaved resizes.
+ */
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+#include <core/ringbuffer.hpp>
+
+namespace {
+
+struct ref_model
+{
+    std::deque<std::pair<int, raft::signal>> q;
+    std::size_t capacity;
+    bool write_closed{ false };
+    std::uint64_t pushed{ 0 }, popped{ 0 };
+};
+
+} /** end anonymous namespace **/
+
+class refmodel_fuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P( refmodel_fuzz, ring_buffer_matches_deque_model )
+{
+    std::mt19937_64 eng( GetParam() );
+    std::uniform_int_distribution<int> op_pick( 0, 99 );
+    std::uniform_int_distribution<int> val_pick( -1000, 1000 );
+
+    const std::size_t cap0 = 1u << ( 1 + ( GetParam() % 6 ) );
+    raft::ring_buffer<int> rb( cap0 );
+    ref_model ref;
+    ref.capacity = rb.capacity();
+
+    for( int step = 0; step < 4000; ++step )
+    {
+        const int op = op_pick( eng );
+        if( op < 40 ) /** try_push **/
+        {
+            const int v        = val_pick( eng );
+            const raft::signal s =
+                ( v % 3 == 0 ) ? raft::eos : raft::none;
+            bool ref_ok = false;
+            if( ref.q.size() < ref.capacity )
+            {
+                ref.q.emplace_back( v, s );
+                ++ref.pushed;
+                ref_ok = true;
+            }
+            EXPECT_EQ( rb.try_push( v + 0, s ), ref_ok ) << "step "
+                                                         << step;
+        }
+        else if( op < 80 ) /** try_pop **/
+        {
+            int v          = 0;
+            raft::signal s = raft::none;
+            const bool got = rb.try_pop( v, &s );
+            EXPECT_EQ( got, !ref.q.empty() ) << "step " << step;
+            if( got )
+            {
+                EXPECT_EQ( v, ref.q.front().first );
+                EXPECT_EQ( s, ref.q.front().second );
+                ref.q.pop_front();
+                ++ref.popped;
+            }
+        }
+        else if( op < 85 ) /** peek **/
+        {
+            if( !ref.q.empty() )
+            {
+                raft::signal s = raft::none;
+                EXPECT_EQ( rb.peek( &s ), ref.q.front().first );
+                EXPECT_EQ( s, ref.q.front().second );
+                rb.unpeek();
+            }
+        }
+        else if( op < 90 ) /** recycle k **/
+        {
+            const auto k =
+                std::min<std::size_t>( ref.q.size(), 1 + op % 3 );
+            if( k > 0 )
+            {
+                rb.recycle( k );
+                for( std::size_t i = 0; i < k; ++i )
+                {
+                    ref.q.pop_front();
+                }
+                ref.popped += k;
+            }
+        }
+        else if( op < 96 ) /** resize **/
+        {
+            const std::size_t new_cap = 1u << ( 1 + ( op % 8 ) );
+            const bool expect_ok = new_cap >= 2 &&
+                                   raft::detail::pow2_ceil( new_cap ) >=
+                                       ref.q.size();
+            const bool ok = rb.resize( new_cap );
+            EXPECT_EQ( ok, expect_ok ) << "step " << step;
+            if( ok )
+            {
+                ref.capacity = rb.capacity();
+            }
+        }
+        else /** window peek over everything queued **/
+        {
+            const auto n = ref.q.size();
+            if( n > 0 )
+            {
+                auto w = rb.peek_range( n );
+                for( std::size_t i = 0; i < n; ++i )
+                {
+                    ASSERT_EQ( w[ i ], ref.q[ i ].first )
+                        << "window idx " << i << " step " << step;
+                }
+            }
+        }
+
+        /** invariants after every operation **/
+        ASSERT_EQ( rb.size(), ref.q.size() );
+        ASSERT_EQ( rb.total_pushed(), ref.pushed );
+        ASSERT_EQ( rb.total_popped(), ref.popped );
+        ASSERT_EQ( rb.capacity(), ref.capacity );
+    }
+
+    /** drain and verify the tail contents **/
+    rb.close_write();
+    while( !ref.q.empty() )
+    {
+        int v = 0;
+        rb.pop( v );
+        EXPECT_EQ( v, ref.q.front().first );
+        ref.q.pop_front();
+    }
+    EXPECT_THROW( { int v; rb.pop( v ); },
+                  raft::closed_port_exception );
+}
+
+INSTANTIATE_TEST_SUITE_P( seeds, refmodel_fuzz,
+                          ::testing::Values( 1u, 2u, 3u, 5u, 8u, 13u,
+                                             21u, 34u, 55u, 89u ) );

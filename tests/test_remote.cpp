@@ -1,0 +1,145 @@
+/**
+ * Remote kernel execution (§4.1's oar "remotely ... execute kernels"):
+ * named streaming services built from raft maps over full-duplex
+ * connections, unknown-job rejection, concurrent clients, and a remote
+ * search service mirroring the paper's grep-as-a-service idea.
+ */
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include <algo/corpus.hpp>
+#include <net/remote.hpp>
+#include <net/tcp_kernels.hpp>
+#include <raft.hpp>
+
+using namespace raft::net;
+
+namespace {
+
+using i64 = std::int64_t;
+
+/** Service: read i64s from the connection, double them, write back. */
+void doubler_service( std::shared_ptr<tcp_connection> conn )
+{
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<tcp_source<i64>>( conn ),
+        raft::kernel::make<raft::transform<i64>>(
+            []( const i64 &v ) { return 2 * v; } ) );
+    m.link( &( p.dst ),
+            raft::kernel::make<tcp_sink<i64>>( conn ) );
+    m.exe();
+}
+
+/** Drive one client exchange of `count` values against `port`. */
+std::vector<i64> run_client( const std::uint16_t port,
+                             const std::string &job,
+                             const std::size_t count )
+{
+    auto conn = request_job( "127.0.0.1", port, job );
+    std::vector<i64> results;
+    std::thread receiver( [ & ]() {
+        raft::map m;
+        m.link( raft::kernel::make<tcp_source<i64>>( conn ),
+                raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( results ) ) );
+        m.exe();
+    } );
+    {
+        raft::map m;
+        m.link( raft::kernel::make<raft::generate<i64>>(
+                    count, []( std::size_t i ) { return i64( i ); } ),
+                raft::kernel::make<tcp_sink<i64>>( conn ) );
+        m.exe();
+    }
+    receiver.join();
+    return results;
+}
+
+} /** end anonymous namespace **/
+
+TEST( remote_jobs, full_duplex_service_roundtrip )
+{
+    job_server server;
+    server.register_job( "double", doubler_service );
+
+    const auto results = run_client( server.port(), "double", 2000 );
+    ASSERT_EQ( results.size(), 2000u );
+    for( std::size_t i = 0; i < results.size(); i += 53 )
+    {
+        EXPECT_EQ( results[ i ], i64( 2 * i ) );
+    }
+    server.stop();
+    EXPECT_EQ( server.served(), 1u );
+}
+
+TEST( remote_jobs, unknown_job_rejected )
+{
+    job_server server;
+    server.register_job( "real", doubler_service );
+    EXPECT_THROW( request_job( "127.0.0.1", server.port(), "fake" ),
+                  raft::net_exception );
+    /** the server keeps serving after a rejection **/
+    const auto results = run_client( server.port(), "real", 10 );
+    EXPECT_EQ( results.size(), 10u );
+    server.stop();
+}
+
+TEST( remote_jobs, sequential_clients_share_one_server )
+{
+    job_server server;
+    server.register_job( "double", doubler_service );
+    for( int round = 0; round < 3; ++round )
+    {
+        const auto results =
+            run_client( server.port(), "double", 500 );
+        ASSERT_EQ( results.size(), 500u ) << "round " << round;
+        EXPECT_EQ( results[ 499 ], 998 );
+    }
+    server.stop();
+    EXPECT_EQ( server.served(), 3u );
+}
+
+TEST( remote_jobs, remote_search_service )
+{
+    /** grep-as-a-service: the server holds the corpus; the client ships
+     *  nothing but the request and receives match offsets **/
+    raft::algo::corpus_options copt;
+    copt.size_bytes      = 128 * 1024;
+    copt.pattern         = "remotequery";
+    copt.implant_per_mib = 400.0;
+    auto corpus = std::make_shared<const std::string>(
+        raft::algo::make_corpus( copt ) );
+    const auto expect =
+        raft::algo::oracle_count( *corpus, copt.pattern );
+    ASSERT_GT( expect, 0u );
+
+    job_server server;
+    server.register_job(
+        "search", [ corpus, pattern = copt.pattern ](
+                      std::shared_ptr<tcp_connection> conn ) {
+            raft::map m;
+            auto p = m.link(
+                raft::kernel::make<raft::filereader>(
+                    corpus, pattern.size() - 1, 8192 ),
+                raft::kernel::make<
+                    raft::search<raft::boyermoorehorspool>>( pattern ) );
+            m.link( &( p.dst ),
+                    raft::kernel::make<tcp_sink<raft::match_t>>(
+                        conn ) );
+            m.exe();
+        } );
+
+    auto conn = request_job( "127.0.0.1", server.port(), "search" );
+    std::vector<raft::match_t> hits;
+    raft::map m;
+    m.link( raft::kernel::make<tcp_source<raft::match_t>>( conn ),
+            raft::kernel::make<raft::write_each<raft::match_t>>(
+                std::back_inserter( hits ) ) );
+    m.exe();
+    EXPECT_EQ( hits.size(), expect );
+    server.stop();
+}

@@ -1,0 +1,153 @@
+/**
+ * The calibrated Figure-10 scaling models: live calibration sanity and the
+ * structural shape properties the paper reports — near-linear Spark and
+ * RaftLib-BMH scaling (BMH flattening at the memory wall), AC slower than
+ * BMH, and GNU-Parallel grep saturating at its distribution bottleneck.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <algo/corpus.hpp>
+#include <sim/scaling.hpp>
+
+using namespace raft::sim;
+
+namespace {
+
+const calibration &cal()
+{
+    static const calibration c = []() {
+        raft::algo::corpus_options o;
+        o.size_bytes      = 4 * 1024 * 1024;
+        o.seed            = 31337;
+        o.pattern         = "distributedstream";
+        o.implant_per_mib = 8.0;
+        const auto corpus = raft::algo::make_corpus( o );
+        return calibrate( corpus, o.pattern );
+    }();
+    return c;
+}
+
+constexpr double file_bytes = 8e9; /** 8 GB simulated file **/
+constexpr unsigned max_cores = 16;
+
+} /** end anonymous namespace **/
+
+TEST( calibration, rates_positive_and_ordered )
+{
+    const auto &c = cal();
+    EXPECT_GT( c.memchr_bps, 1e7 );
+    EXPECT_GT( c.ac_bps, 1e6 );
+    EXPECT_GT( c.bmh_bps, 1e6 );
+    EXPECT_GT( c.bm_bps, 1e6 );
+    EXPECT_GT( c.mem_bw_bps, 1e8 );
+    EXPECT_GT( c.thread_spawn_s, 0.0 );
+    EXPECT_GT( c.process_spawn_s, 0.0 );
+    EXPECT_GT( c.pipe_bw_bps, 1e6 );
+    /** the skip-based single-pattern matchers beat the automaton —
+     *  the premise of the paper's algorithm-swap result (§5) **/
+    EXPECT_GT( c.bmh_bps, c.ac_bps );
+    EXPECT_GT( c.memchr_bps, c.ac_bps );
+}
+
+TEST( scaling, raft_bmh_dominates_raft_ac_everywhere )
+{
+    const auto ac  = model_raft( cal(), cal().ac_bps, file_bytes,
+                                 max_cores );
+    const auto bmh = model_raft( cal(), cal().bmh_bps, file_bytes,
+                                 max_cores );
+    ASSERT_EQ( ac.size(), max_cores );
+    for( unsigned i = 0; i < max_cores; ++i )
+    {
+        EXPECT_GE( bmh[ i ].gbps, ac[ i ].gbps * 0.99 )
+            << "cores=" << i + 1;
+    }
+}
+
+TEST( scaling, raft_scales_near_linearly_at_low_core_counts )
+{
+    const auto ac = model_raft( cal(), cal().ac_bps, file_bytes,
+                                max_cores );
+    EXPECT_GT( ac[ 3 ].gbps, 3.0 * ac[ 0 ].gbps );
+    EXPECT_GT( ac[ 7 ].gbps, 5.5 * ac[ 0 ].gbps );
+}
+
+TEST( scaling, bmh_hits_memory_wall_before_16_cores )
+{
+    const auto &c  = cal();
+    const auto bmh = model_raft( c, c.bmh_bps, file_bytes, max_cores );
+    /** the paper: linear to ~10 cores, then "the memory system itself
+     *  becomes the bottleneck" — the last doubling of cores must yield
+     *  much less than double the throughput **/
+    const auto t8  = bmh[ 7 ].gbps;
+    const auto t16 = bmh[ 15 ].gbps;
+    EXPECT_LT( t16, 1.9 * t8 );
+    /** and the ceiling is the measured memory bandwidth **/
+    EXPECT_LE( t16, c.mem_bw_bps / 1e9 * 1.10 );
+}
+
+TEST( scaling, pgrep_saturates_at_distribution_bottleneck )
+{
+    const auto &c = cal();
+    const auto pg = model_pgrep( c, file_bytes, max_cores );
+    /** scaling stalls: 16 cores buys little over 4 **/
+    EXPECT_LT( pg[ 15 ].gbps, pg[ 3 ].gbps * 2.0 );
+    /** and the ceiling is the distribution path **/
+    EXPECT_LE( pg[ 15 ].gbps,
+               std::min( c.pipe_bw_bps, c.parallel_split_bps ) / 1e9 *
+                   1.15 );
+}
+
+TEST( scaling, plain_grep_wins_single_core )
+{
+    const auto &c   = cal();
+    const auto ac   = model_raft( c, c.ac_bps, file_bytes, 1 );
+    const auto sp   = model_spark( c, file_bytes, 1 );
+    const auto grep = plain_grep_gbps( c );
+    /** §5: single-threaded grep "handily beats all the other
+     *  algorithms for single core performance" **/
+    EXPECT_GT( grep, ac[ 0 ].gbps );
+    EXPECT_GT( grep, sp[ 0 ].gbps );
+}
+
+TEST( scaling, spark_scales_near_linearly )
+{
+    const auto sp = model_spark( cal(), file_bytes, max_cores );
+    EXPECT_GT( sp[ 7 ].gbps, 6.0 * sp[ 0 ].gbps );
+    EXPECT_GT( sp[ 15 ].gbps, 10.0 * sp[ 0 ].gbps );
+}
+
+TEST( scaling, paper_ordering_at_16_cores )
+{
+    /** Figure 10's right edge: BMH > Spark ≳ AC > parallel grep **/
+    const auto &c  = cal();
+    const auto bmh = model_raft( c, c.bmh_bps, file_bytes, max_cores );
+    const auto ac  = model_raft( c, c.ac_bps, file_bytes, max_cores );
+    const auto sp  = model_spark( c, file_bytes, max_cores );
+    const auto pg  = model_pgrep( c, file_bytes, max_cores );
+    EXPECT_GT( bmh[ 15 ].gbps, sp[ 15 ].gbps );
+    EXPECT_GT( sp[ 15 ].gbps, pg[ 15 ].gbps );
+    EXPECT_GT( ac[ 15 ].gbps, pg[ 15 ].gbps );
+}
+
+TEST( scaling, throughput_never_negative_or_wildly_nonmonotone )
+{
+    const auto &c = cal();
+    for( const auto &series :
+         { model_raft( c, c.ac_bps, file_bytes, max_cores ),
+           model_spark( c, file_bytes, max_cores ),
+           model_pgrep( c, file_bytes, max_cores ) } )
+    {
+        for( unsigned i = 0; i < series.size(); ++i )
+        {
+            EXPECT_GT( series[ i ].gbps, 0.0 );
+            if( i > 0 )
+            {
+                /** adding a core never costs >25% throughput **/
+                EXPECT_GT( series[ i ].gbps,
+                           0.75 * series[ i - 1 ].gbps );
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+/**
+ * Integration tests for the paper's benchmark application (Figures 8/9):
+ * filereader → search<Algo> (replicated) → write_each<match_t>, validated
+ * against the naive oracle, including matches that straddle segment
+ * boundaries and corpus-generator plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <algo/corpus.hpp>
+#include <raft.hpp>
+
+namespace {
+
+/** Count with the full RaftLib topology. */
+template <class Algo>
+std::vector<raft::match_t>
+raft_search( const std::shared_ptr<const std::string> &corpus,
+             const std::string &pattern,
+             const std::size_t segment,
+             const std::size_t width )
+{
+    std::vector<raft::match_t> total_hits;
+    raft::map map;
+    auto kern_start = map.link<raft::out>(
+        raft::kernel::make<raft::filereader>( corpus, pattern.size() - 1,
+                                              segment ),
+        raft::kernel::make<raft::search<Algo>>( pattern ) );
+    map.link<raft::out>(
+        &( kern_start.dst ),
+        raft::kernel::make<raft::write_each<raft::match_t>>(
+            std::back_inserter( total_hits ) ) );
+    raft::run_options opts;
+    opts.replication_width = width;
+    map.exe( opts );
+    return total_hits;
+}
+
+std::vector<std::size_t> oracle_positions( const std::string &text,
+                                           const std::string &pattern )
+{
+    std::vector<std::size_t> out;
+    raft::algo::naive_matcher m( pattern );
+    m.find( text.data(), text.size(),
+            [ & ]( std::size_t p, std::uint32_t ) {
+                out.push_back( p );
+            } );
+    return out;
+}
+
+} /** end anonymous namespace **/
+
+TEST( search_app, matches_straddling_segment_boundaries )
+{
+    /** pattern implanted exactly across every segment boundary **/
+    std::string text( 512, '.' );
+    const std::string pattern = "WXYZ";
+    const std::size_t segment = 64;
+    for( std::size_t b = segment; b < text.size(); b += segment )
+    {
+        text.replace( b - 2, pattern.size(), pattern );
+    }
+    auto corpus = std::make_shared<const std::string>( text );
+    const auto expect = oracle_positions( text, pattern );
+    ASSERT_FALSE( expect.empty() );
+
+    auto hits = raft_search<raft::boyermoorehorspool>( corpus, pattern,
+                                                       segment, 1 );
+    std::vector<std::size_t> got;
+    for( const auto &h : hits )
+    {
+        got.push_back( h.offset );
+    }
+    std::sort( got.begin(), got.end() );
+    EXPECT_EQ( got, expect );
+}
+
+TEST( search_app, no_duplicate_matches_inside_overlap )
+{
+    /** a match fully inside the overlap must be counted exactly once **/
+    std::string text( 256, '-' );
+    const std::string pattern = "abc";
+    text.replace( 63, 3, pattern );  /** straddles 64-boundary       **/
+    text.replace( 64, 3, "abc" );    /** wholly in second segment,
+                                          also in first's overlap    **/
+    auto corpus = std::make_shared<const std::string>( text );
+    const auto expect = oracle_positions( text, pattern );
+    auto hits = raft_search<raft::ahocorasick>( corpus, pattern, 64, 1 );
+    EXPECT_EQ( hits.size(), expect.size() );
+}
+
+class search_app_sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P( search_app_sweep, counts_match_oracle_for_both_algorithms )
+{
+    const auto [ segment, width ] = GetParam();
+    raft::algo::corpus_options copt;
+    copt.size_bytes      = 96 * 1024;
+    copt.seed            = 42 + segment + width;
+    copt.pattern         = "streamkernel";
+    copt.implant_per_mib = 300.0;
+    auto corpus = std::make_shared<const std::string>(
+        raft::algo::make_corpus( copt ) );
+    const auto expect =
+        raft::algo::oracle_count( *corpus, copt.pattern );
+    ASSERT_GT( expect, 0u );
+
+    const auto ac_hits = raft_search<raft::ahocorasick>(
+        corpus, copt.pattern, segment, width );
+    EXPECT_EQ( ac_hits.size(), expect );
+
+    const auto bmh_hits = raft_search<raft::boyermoorehorspool>(
+        corpus, copt.pattern, segment, width );
+    EXPECT_EQ( bmh_hits.size(), expect );
+
+    const auto bm_hits = raft_search<raft::boyermoore>(
+        corpus, copt.pattern, segment, width );
+    EXPECT_EQ( bm_hits.size(), expect );
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    params, search_app_sweep,
+    ::testing::Values( std::make_tuple( std::size_t{ 4096 },
+                                        std::size_t{ 1 } ),
+                       std::make_tuple( std::size_t{ 4096 },
+                                        std::size_t{ 4 } ),
+                       std::make_tuple( std::size_t{ 1024 },
+                                        std::size_t{ 2 } ),
+                       std::make_tuple( std::size_t{ 65536 },
+                                        std::size_t{ 3 } ) ) );
+
+TEST( search_app, match_offsets_are_global_and_unique )
+{
+    raft::algo::corpus_options copt;
+    copt.size_bytes      = 64 * 1024;
+    copt.pattern         = "uniquetoken";
+    copt.implant_per_mib = 160.0;
+    auto corpus = std::make_shared<const std::string>(
+        raft::algo::make_corpus( copt ) );
+    auto hits = raft_search<raft::boyermoorehorspool>(
+        corpus, copt.pattern, 2048, 4 );
+    std::set<std::size_t> unique;
+    for( const auto &h : hits )
+    {
+        EXPECT_LT( h.offset, corpus->size() );
+        EXPECT_EQ( corpus->compare( h.offset, copt.pattern.size(),
+                                    copt.pattern ),
+                   0 );
+        unique.insert( h.offset );
+    }
+    EXPECT_EQ( unique.size(), hits.size() );
+}
+
+TEST( search_app, search_kernel_clone_is_independent )
+{
+    raft::search<raft::ahocorasick> k( "pattern" );
+    EXPECT_TRUE( k.clone_supported() );
+    std::unique_ptr<raft::kernel> c( k.clone() );
+    ASSERT_NE( c, nullptr );
+    EXPECT_NE( c->get_id(), k.get_id() );
+    auto *cs = dynamic_cast<raft::search<raft::ahocorasick> *>( c.get() );
+    ASSERT_NE( cs, nullptr );
+    EXPECT_STREQ( cs->engine().name(), "aho-corasick" );
+}
+
+TEST( corpus_generator, deterministic_and_sized )
+{
+    raft::algo::corpus_options o;
+    o.size_bytes = 10'000;
+    o.seed       = 7;
+    o.pattern    = "needle";
+    const auto a = raft::algo::make_corpus( o );
+    const auto b = raft::algo::make_corpus( o );
+    EXPECT_EQ( a.size(), 10'000u );
+    EXPECT_EQ( a, b );
+    o.seed       = 8;
+    const auto c = raft::algo::make_corpus( o );
+    EXPECT_NE( a, c );
+}
+
+TEST( corpus_generator, implants_reach_requested_density )
+{
+    raft::algo::corpus_options o;
+    o.size_bytes      = 1 << 20;
+    o.pattern         = "zqxjkvbn"; /** unlikely by chance **/
+    o.implant_per_mib = 50.0;
+    const auto text   = raft::algo::make_corpus( o );
+    const auto n      = raft::algo::oracle_count( text, o.pattern );
+    /** implants can overwrite each other: allow some slack **/
+    EXPECT_GE( n, 40u );
+    EXPECT_LE( n, 50u );
+}
+
+TEST( corpus_generator, text_is_line_structured )
+{
+    raft::algo::corpus_options o;
+    o.size_bytes = 50'000;
+    const auto t = raft::algo::make_corpus( o );
+    const auto newlines =
+        std::count( t.begin(), t.end(), '\n' );
+    EXPECT_GT( newlines, 50 ); /** looks like lines of text **/
+    const auto spaces = std::count( t.begin(), t.end(), ' ' );
+    EXPECT_GT( spaces, 1000 );
+}

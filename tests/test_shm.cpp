@@ -1,0 +1,187 @@
+/**
+ * POSIX shared-memory streams (§4.2 link allocation types): region
+ * lifecycle, ring semantics, cross-PROCESS transport via fork, and the
+ * shm_source/shm_sink kernel pair bridging two maps.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <net/shm.hpp>
+#include <raft.hpp>
+
+using raft::net::shm_region;
+using raft::net::shm_ring;
+
+namespace {
+
+std::string unique_name( const char *tag )
+{
+    return std::string( "/raft_test_" ) + tag + "_" +
+           std::to_string( ::getpid() );
+}
+
+} /** end anonymous namespace **/
+
+TEST( shm_region, create_attach_share_bytes )
+{
+    const auto name = unique_name( "region" );
+    auto a          = shm_region::create( name, 4096 );
+    auto b          = shm_region::attach( name, 4096 );
+    std::strcpy( static_cast<char *>( a.data() ), "hello shm" );
+    EXPECT_STREQ( static_cast<const char *>( b.data() ), "hello shm" );
+    EXPECT_EQ( a.size(), 4096u );
+}
+
+TEST( shm_region, double_create_throws )
+{
+    const auto name = unique_name( "dup" );
+    auto a          = shm_region::create( name, 1024 );
+    EXPECT_THROW( shm_region::create( name, 1024 ),
+                  raft::net_exception );
+}
+
+TEST( shm_region, attach_missing_throws )
+{
+    EXPECT_THROW(
+        shm_region::attach( unique_name( "missing" ), 1024 ),
+        raft::net_exception );
+}
+
+TEST( shm_ring, fifo_order_and_signals_same_process )
+{
+    const auto name = unique_name( "ring" );
+    shm_ring<int> writer( name, 8, shm_ring<int>::role::create );
+    shm_ring<int> reader( name, 8, shm_ring<int>::role::attach );
+    EXPECT_EQ( writer.capacity(), 8u );
+    writer.push( 1 );
+    writer.push( 2, raft::eos );
+    int v          = 0;
+    raft::signal s = raft::none;
+    reader.pop( v, &s );
+    EXPECT_EQ( v, 1 );
+    EXPECT_EQ( s, raft::none );
+    reader.pop( v, &s );
+    EXPECT_EQ( v, 2 );
+    EXPECT_EQ( s, raft::eos );
+    EXPECT_FALSE( reader.try_pop( v ) );
+}
+
+TEST( shm_ring, bounded_and_closable )
+{
+    const auto name = unique_name( "bounds" );
+    shm_ring<int> ring( name, 2, shm_ring<int>::role::create );
+    EXPECT_TRUE( ring.try_push( 1 ) );
+    EXPECT_TRUE( ring.try_push( 2 ) );
+    EXPECT_FALSE( ring.try_push( 3 ) ); /** full **/
+    ring.close_write();
+    int v = 0;
+    ring.pop( v );
+    ring.pop( v );
+    EXPECT_THROW( ring.pop( v ), raft::closed_port_exception );
+}
+
+TEST( shm_ring, attach_to_wrong_region_rejected )
+{
+    const auto name = unique_name( "nothdr" );
+    auto raw        = shm_region::create( name, 1u << 16 );
+    std::memset( raw.data(), 0, 64 );
+    EXPECT_THROW(
+        ( shm_ring<int>( name, 8, shm_ring<int>::role::attach ) ),
+        raft::net_exception );
+}
+
+TEST( shm_ring, cross_process_transport_via_fork )
+{
+    const auto name = unique_name( "fork" );
+    constexpr int items = 5000;
+    shm_ring<int> parent_ring( name, 64,
+                               shm_ring<int>::role::create );
+    const pid_t pid = fork();
+    ASSERT_GE( pid, 0 );
+    if( pid == 0 )
+    {
+        /** child: the producing process **/
+        try
+        {
+            shm_ring<int> child_ring( name, 64,
+                                      shm_ring<int>::role::attach );
+            for( int i = 0; i < items; ++i )
+            {
+                child_ring.push( i );
+            }
+            child_ring.close_write();
+            _exit( 0 );
+        }
+        catch( ... )
+        {
+            _exit( 1 );
+        }
+    }
+    int expect = 0;
+    bool ok    = true;
+    try
+    {
+        for( ;; )
+        {
+            int v = -1;
+            parent_ring.pop( v );
+            ok = ok && ( v == expect );
+            ++expect;
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    int status = 0;
+    waitpid( pid, &status, 0 );
+    EXPECT_EQ( WEXITSTATUS( status ), 0 );
+    EXPECT_TRUE( ok );
+    EXPECT_EQ( expect, items );
+}
+
+TEST( shm_kernels, stream_bridges_two_maps )
+{
+    using i64       = std::int64_t;
+    const auto name = unique_name( "kern" );
+    const std::size_t count = 4000;
+    auto ring = std::make_shared<shm_ring<i64>>(
+        name, 256, shm_ring<i64>::role::create );
+    auto ring2 = std::make_shared<shm_ring<i64>>(
+        name, 256, shm_ring<i64>::role::attach );
+
+    std::vector<i64> received;
+    std::thread consumer( [ & ]() {
+        raft::map m;
+        m.link( raft::kernel::make<raft::net::shm_source<i64>>( ring2 ),
+                raft::kernel::make<raft::write_each<i64>>(
+                    std::back_inserter( received ) ) );
+        m.exe();
+    } );
+
+    raft::map m;
+    auto p = m.link(
+        raft::kernel::make<raft::generate<i64>>(
+            count, []( std::size_t i ) { return i64( i ); } ),
+        raft::kernel::make<raft::sum<i64, i64, i64>>(), "input_a" );
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                count, []( std::size_t i ) { return i64( i * 4 ); } ),
+            &( p.dst ), "input_b" );
+    m.link( &( p.dst ),
+            raft::kernel::make<raft::net::shm_sink<i64>>( ring ) );
+    m.exe();
+    consumer.join();
+
+    ASSERT_EQ( received.size(), count );
+    for( std::size_t i = 0; i < count; i += 37 )
+    {
+        EXPECT_EQ( received[ i ], i64( 5 * i ) );
+    }
+}

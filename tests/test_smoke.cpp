@@ -1,0 +1,27 @@
+#include <gtest/gtest.h>
+#include <raft.hpp>
+#include <vector>
+
+TEST( smoke, sum_pipeline )
+{
+    using T = std::int64_t;
+    const std::size_t count = 1000;
+    std::vector<T> results;
+    raft::map m;
+    auto linked = m.link(
+        raft::kernel::make<raft::generate<T>>(
+            count, []( std::size_t i ) { return static_cast<T>( i ); } ),
+        raft::kernel::make<raft::sum<T, T, T>>(), "input_a" );
+    m.link( raft::kernel::make<raft::generate<T>>(
+                count, []( std::size_t i ) { return static_cast<T>( 2 * i ); } ),
+            &( linked.dst ), "input_b" );
+    m.link( &( linked.dst ),
+            raft::kernel::make<raft::write_each<T>>(
+                std::back_inserter( results ) ) );
+    m.exe();
+    ASSERT_EQ( results.size(), count );
+    for( std::size_t i = 0; i < count; ++i )
+    {
+        EXPECT_EQ( results[ i ], static_cast<T>( 3 * i ) );
+    }
+}

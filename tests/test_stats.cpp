@@ -1,0 +1,69 @@
+/**
+ * Monitoring data model: histogram arithmetic and snapshot helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <runtime/stats.hpp>
+
+using raft::runtime::occupancy_histogram;
+using raft::runtime::perf_snapshot;
+using raft::runtime::stream_stats;
+
+TEST( histogram, buckets_partition_unit_interval )
+{
+    occupancy_histogram h;
+    h.add( 0.0 );
+    h.add( 0.05 );
+    h.add( 0.15 );
+    h.add( 0.95 );
+    h.add( 1.0 ); /** clamps into the last bucket **/
+    h.add( 2.0 ); /** out-of-range clamps too **/
+    EXPECT_EQ( h.bucket( 0 ), 2u );
+    EXPECT_EQ( h.bucket( 1 ), 1u );
+    EXPECT_EQ( h.bucket( 9 ), 3u );
+    EXPECT_EQ( h.total(), 6u );
+    EXPECT_DOUBLE_EQ( h.fraction( 0 ), 2.0 / 6.0 );
+}
+
+TEST( histogram, empty_fraction_is_zero )
+{
+    occupancy_histogram h;
+    EXPECT_DOUBLE_EQ( h.fraction( 0 ), 0.0 );
+    EXPECT_EQ( h.total(), 0u );
+}
+
+TEST( histogram, merge_adds_counts )
+{
+    occupancy_histogram a, b;
+    a.add( 0.1 );
+    a.add( 0.9 );
+    b.add( 0.9 );
+    a.merge( b );
+    EXPECT_EQ( a.total(), 3u );
+    EXPECT_EQ( a.bucket( 9 ), 2u );
+}
+
+TEST( perf_snapshot, find_by_substring )
+{
+    perf_snapshot s;
+    stream_stats a;
+    a.src_kernel = "raft::generate<long>#3";
+    a.dst_kernel = "raft::sum<long,long,long>#4";
+    s.streams.push_back( a );
+    EXPECT_NE( s.find( "generate", "sum" ), nullptr );
+    EXPECT_EQ( s.find( "print", "sum" ), nullptr );
+    EXPECT_EQ( s.find( "generate", "print" ), nullptr );
+}
+
+TEST( perf_snapshot, total_bytes_sums_streams )
+{
+    perf_snapshot s;
+    stream_stats a, b;
+    a.popped       = 100;
+    a.element_size = 8;
+    b.popped       = 10;
+    b.element_size = 4;
+    s.streams.push_back( a );
+    s.streams.push_back( b );
+    EXPECT_DOUBLE_EQ( s.total_bytes_moved(), 840.0 );
+}
