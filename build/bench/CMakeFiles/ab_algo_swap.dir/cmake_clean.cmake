@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_algo_swap.dir/ab_algo_swap.cpp.o"
+  "CMakeFiles/ab_algo_swap.dir/ab_algo_swap.cpp.o.d"
+  "ab_algo_swap"
+  "ab_algo_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_algo_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_monitor_overhead.dir/ab_monitor_overhead.cpp.o"
+  "CMakeFiles/ab_monitor_overhead.dir/ab_monitor_overhead.cpp.o.d"
+  "ab_monitor_overhead"
+  "ab_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

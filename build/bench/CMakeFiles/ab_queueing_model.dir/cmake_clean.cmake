@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_queueing_model.dir/ab_queueing_model.cpp.o"
+  "CMakeFiles/ab_queueing_model.dir/ab_queueing_model.cpp.o.d"
+  "ab_queueing_model"
+  "ab_queueing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_queueing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_resize.dir/ab_resize.cpp.o"
+  "CMakeFiles/ab_resize.dir/ab_resize.cpp.o.d"
+  "ab_resize"
+  "ab_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

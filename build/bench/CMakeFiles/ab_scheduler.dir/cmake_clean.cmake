@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_scheduler.dir/ab_scheduler.cpp.o"
+  "CMakeFiles/ab_scheduler.dir/ab_scheduler.cpp.o.d"
+  "ab_scheduler"
+  "ab_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_split_strategy.dir/ab_split_strategy.cpp.o"
+  "CMakeFiles/ab_split_strategy.dir/ab_split_strategy.cpp.o.d"
+  "ab_split_strategy"
+  "ab_split_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_split_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

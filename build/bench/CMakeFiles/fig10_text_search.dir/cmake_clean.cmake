@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_text_search.dir/fig10_text_search.cpp.o"
+  "CMakeFiles/fig10_text_search.dir/fig10_text_search.cpp.o.d"
+  "fig10_text_search"
+  "fig10_text_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_text_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_queue_size.dir/fig4_queue_size.cpp.o"
+  "CMakeFiles/fig4_queue_size.dir/fig4_queue_size.cpp.o.d"
+  "fig4_queue_size"
+  "fig4_queue_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_queue_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_algo_search.dir/micro_algo_search.cpp.o"
+  "CMakeFiles/micro_algo_search.dir/micro_algo_search.cpp.o.d"
+  "micro_algo_search"
+  "micro_algo_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_algo_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_links.dir/micro_links.cpp.o"
+  "CMakeFiles/micro_links.dir/micro_links.cpp.o.d"
+  "micro_links"
+  "micro_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mapping.dir/micro_mapping.cpp.o"
+  "CMakeFiles/micro_mapping.dir/micro_mapping.cpp.o.d"
+  "micro_mapping"
+  "micro_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_port_access.dir/micro_port_access.cpp.o"
+  "CMakeFiles/micro_port_access.dir/micro_port_access.cpp.o.d"
+  "micro_port_access"
+  "micro_port_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_port_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ringbuffer.dir/micro_ringbuffer.cpp.o"
+  "CMakeFiles/micro_ringbuffer.dir/micro_ringbuffer.cpp.o.d"
+  "micro_ringbuffer"
+  "micro_ringbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ringbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hardware.dir/table1_hardware.cpp.o"
+  "CMakeFiles/table1_hardware.dir/table1_hardware.cpp.o.d"
+  "table1_hardware"
+  "table1_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

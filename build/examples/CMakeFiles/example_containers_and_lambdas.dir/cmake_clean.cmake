@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_containers_and_lambdas.dir/containers_and_lambdas.cpp.o"
+  "CMakeFiles/example_containers_and_lambdas.dir/containers_and_lambdas.cpp.o.d"
+  "example_containers_and_lambdas"
+  "example_containers_and_lambdas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_containers_and_lambdas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_containers_and_lambdas.
+# This may be replaced when dependencies are built.

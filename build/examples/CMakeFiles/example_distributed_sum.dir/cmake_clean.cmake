@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_sum.dir/distributed_sum.cpp.o"
+  "CMakeFiles/example_distributed_sum.dir/distributed_sum.cpp.o.d"
+  "example_distributed_sum"
+  "example_distributed_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

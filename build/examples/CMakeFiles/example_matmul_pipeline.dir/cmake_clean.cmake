@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_pipeline.dir/matmul_pipeline.cpp.o"
+  "CMakeFiles/example_matmul_pipeline.dir/matmul_pipeline.cpp.o.d"
+  "example_matmul_pipeline"
+  "example_matmul_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

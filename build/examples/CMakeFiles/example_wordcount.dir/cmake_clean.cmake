@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wordcount.dir/wordcount.cpp.o"
+  "CMakeFiles/example_wordcount.dir/wordcount.cpp.o.d"
+  "example_wordcount"
+  "example_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

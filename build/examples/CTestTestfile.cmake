@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/example_quickstart" "25")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_text_search "/root/repo/build/examples/example_text_search" "--demo")
+set_tests_properties(example_text_search PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matmul_pipeline "/root/repo/build/examples/example_matmul_pipeline" "128" "2")
+set_tests_properties(example_matmul_pipeline PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_containers_and_lambdas "/root/repo/build/examples/example_containers_and_lambdas")
+set_tests_properties(example_containers_and_lambdas PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_sum "/root/repo/build/examples/example_distributed_sum")
+set_tests_properties(example_distributed_sum PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wordcount "/root/repo/build/examples/example_wordcount")
+set_tests_properties(example_wordcount PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

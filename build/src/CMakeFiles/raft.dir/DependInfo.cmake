@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/corpus.cpp" "src/CMakeFiles/raft.dir/algo/corpus.cpp.o" "gcc" "src/CMakeFiles/raft.dir/algo/corpus.cpp.o.d"
+  "/root/repo/src/algo/matmul.cpp" "src/CMakeFiles/raft.dir/algo/matmul.cpp.o" "gcc" "src/CMakeFiles/raft.dir/algo/matmul.cpp.o.d"
+  "/root/repo/src/algo/strmatch.cpp" "src/CMakeFiles/raft.dir/algo/strmatch.cpp.o" "gcc" "src/CMakeFiles/raft.dir/algo/strmatch.cpp.o.d"
+  "/root/repo/src/baselines/minispark.cpp" "src/CMakeFiles/raft.dir/baselines/minispark.cpp.o" "gcc" "src/CMakeFiles/raft.dir/baselines/minispark.cpp.o.d"
+  "/root/repo/src/baselines/pgrep.cpp" "src/CMakeFiles/raft.dir/baselines/pgrep.cpp.o" "gcc" "src/CMakeFiles/raft.dir/baselines/pgrep.cpp.o.d"
+  "/root/repo/src/core/defs.cpp" "src/CMakeFiles/raft.dir/core/defs.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/defs.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/raft.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/map.cpp" "src/CMakeFiles/raft.dir/core/map.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/map.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/raft.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/raft.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/raft.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/raft.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/mapping/partition.cpp" "src/CMakeFiles/raft.dir/mapping/partition.cpp.o" "gcc" "src/CMakeFiles/raft.dir/mapping/partition.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/raft.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/raft.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/oar.cpp" "src/CMakeFiles/raft.dir/net/oar.cpp.o" "gcc" "src/CMakeFiles/raft.dir/net/oar.cpp.o.d"
+  "/root/repo/src/net/remote.cpp" "src/CMakeFiles/raft.dir/net/remote.cpp.o" "gcc" "src/CMakeFiles/raft.dir/net/remote.cpp.o.d"
+  "/root/repo/src/net/shm.cpp" "src/CMakeFiles/raft.dir/net/shm.cpp.o" "gcc" "src/CMakeFiles/raft.dir/net/shm.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/raft.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/raft.dir/net/socket.cpp.o.d"
+  "/root/repo/src/queueing/classifier.cpp" "src/CMakeFiles/raft.dir/queueing/classifier.cpp.o" "gcc" "src/CMakeFiles/raft.dir/queueing/classifier.cpp.o.d"
+  "/root/repo/src/queueing/optimize.cpp" "src/CMakeFiles/raft.dir/queueing/optimize.cpp.o" "gcc" "src/CMakeFiles/raft.dir/queueing/optimize.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/CMakeFiles/raft.dir/sim/pipeline.cpp.o" "gcc" "src/CMakeFiles/raft.dir/sim/pipeline.cpp.o.d"
+  "/root/repo/src/sim/scaling.cpp" "src/CMakeFiles/raft.dir/sim/scaling.cpp.o" "gcc" "src/CMakeFiles/raft.dir/sim/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_async_signals.cpp" "tests/CMakeFiles/raft_tests.dir/test_async_signals.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_async_signals.cpp.o.d"
+  "/root/repo/tests/test_autoparallel.cpp" "tests/CMakeFiles/raft_tests.dir/test_autoparallel.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_autoparallel.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/raft_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_classifier.cpp" "tests/CMakeFiles/raft_tests.dir/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_classifier.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/raft_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_des.cpp" "tests/CMakeFiles/raft_tests.dir/test_des.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_des.cpp.o.d"
+  "/root/repo/tests/test_fifo_concurrency.cpp" "tests/CMakeFiles/raft_tests.dir/test_fifo_concurrency.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_fifo_concurrency.cpp.o.d"
+  "/root/repo/tests/test_functional_kernels.cpp" "tests/CMakeFiles/raft_tests.dir/test_functional_kernels.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_functional_kernels.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/raft_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernels_std.cpp" "tests/CMakeFiles/raft_tests.dir/test_kernels_std.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_kernels_std.cpp.o.d"
+  "/root/repo/tests/test_lambdak_clone.cpp" "tests/CMakeFiles/raft_tests.dir/test_lambdak_clone.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_lambdak_clone.cpp.o.d"
+  "/root/repo/tests/test_map.cpp" "tests/CMakeFiles/raft_tests.dir/test_map.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_map.cpp.o.d"
+  "/root/repo/tests/test_matmul.cpp" "tests/CMakeFiles/raft_tests.dir/test_matmul.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_matmul.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/raft_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/raft_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/raft_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/raft_tests.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_optimize.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/raft_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_port_kernel.cpp" "tests/CMakeFiles/raft_tests.dir/test_port_kernel.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_port_kernel.cpp.o.d"
+  "/root/repo/tests/test_queueing.cpp" "tests/CMakeFiles/raft_tests.dir/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_queueing.cpp.o.d"
+  "/root/repo/tests/test_refmodel.cpp" "tests/CMakeFiles/raft_tests.dir/test_refmodel.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_refmodel.cpp.o.d"
+  "/root/repo/tests/test_remote.cpp" "tests/CMakeFiles/raft_tests.dir/test_remote.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_remote.cpp.o.d"
+  "/root/repo/tests/test_ringbuffer.cpp" "tests/CMakeFiles/raft_tests.dir/test_ringbuffer.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_ringbuffer.cpp.o.d"
+  "/root/repo/tests/test_scaling_model.cpp" "tests/CMakeFiles/raft_tests.dir/test_scaling_model.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_scaling_model.cpp.o.d"
+  "/root/repo/tests/test_search_app.cpp" "tests/CMakeFiles/raft_tests.dir/test_search_app.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_search_app.cpp.o.d"
+  "/root/repo/tests/test_shm.cpp" "tests/CMakeFiles/raft_tests.dir/test_shm.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_shm.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/raft_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/raft_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strmatch.cpp" "tests/CMakeFiles/raft_tests.dir/test_strmatch.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_strmatch.cpp.o.d"
+  "/root/repo/tests/test_synonym.cpp" "tests/CMakeFiles/raft_tests.dir/test_synonym.cpp.o" "gcc" "tests/CMakeFiles/raft_tests.dir/test_synonym.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
