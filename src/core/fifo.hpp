@@ -35,6 +35,8 @@ template <class T> class fifo;
 template <class T> class autorelease;
 template <class T> class allocate_ref;
 template <class T> class peek_range_t;
+template <class T> class write_window_t;
+template <class T> class read_window_t;
 
 /**
  * Type-erased FIFO interface. The runtime never needs to know the element
@@ -104,6 +106,16 @@ public:
      * split/reduce adapters so they remain fully type-erased.
      */
     virtual bool try_transfer_to( fifo_base &dst ) = 0;
+    /**
+     * Batched variant: move up to max_n elements (with their signals) into
+     * dst under a single handshake entry per queue end and one index
+     * publication per contiguous run. Returns the number moved (0 when this
+     * queue is empty, dst is full, or the types differ). May throw
+     * closed_port_exception if dst's reader terminated, exactly like
+     * try_transfer_to.
+     */
+    virtual std::size_t try_transfer_n( fifo_base &dst,
+                                        std::size_t max_n ) = 0;
     ///@}
 
     /** @name introspection */
@@ -188,6 +200,54 @@ public:
                                std::size_t *mask ) = 0;
     ///@}
 
+    /** @name batched transfer primitives
+     * The window claims are the bulk duals of claim_tail/claim_head: N
+     * contiguous slots are acquired under a single resize-gate handshake
+     * entry and published/consumed with a single index store. A held window
+     * parks the monitor exactly like a held claim_head — the resize protocol
+     * is unchanged. Partial semantics: claims return at least 1 and at most
+     * max_n slots (whatever is free/occupied when the claim succeeds), so
+     * callers batch opportunistically without adding latency.
+     */
+    ///@{
+    /** Move up to n elements from src[0..n) into the queue (non-blocking).
+     *  Returns the number actually transferred; moved-from sources are left
+     *  in their moved-from state (the caller owns their destruction). sigs
+     *  may be null (every element ships signal `none`). */
+    virtual std::size_t try_push_n( T *src, std::size_t n,
+                                    const signal *sigs = nullptr ) = 0;
+    /** Pop up to n elements into dst[0..n) (non-blocking). Returns the
+     *  number transferred; sigs (if non-null) receives the per-element
+     *  signals. */
+    virtual std::size_t try_pop_n( T *dst, std::size_t n,
+                                   signal *sigs = nullptr ) = 0;
+    /** Block until at least one slot is writable, default-construct
+     *  min(max_n, space) slots, take the producer claim and return the
+     *  claimed count plus window geometry (slot array, signal array,
+     *  logical start, index mask). Throws closed_port_exception when the
+     *  reader terminated. */
+    virtual std::size_t claim_write_window( std::size_t max_n,
+                                            T **data,
+                                            signal **sigs,
+                                            std::uint64_t *start,
+                                            std::size_t *mask ) = 0;
+    /** Publish the first n of `claimed` window slots (single index store),
+     *  destroy the rest, release the producer claim. */
+    virtual void publish_write_window( std::size_t claimed,
+                                       std::size_t n ) noexcept = 0;
+    /** Block until at least one element is readable, take the consumer
+     *  claim and return min(max_n, occupancy) plus the window geometry.
+     *  Throws closed_port_exception once drained and closed. */
+    virtual std::size_t claim_read_window( std::size_t max_n,
+                                           T **data,
+                                           signal **sigs,
+                                           std::uint64_t *start,
+                                           std::size_t *mask ) = 0;
+    /** Destroy the first n claimed elements, advance the head with a single
+     *  index store, release the consumer claim. */
+    virtual void consume_read_window( std::size_t n ) noexcept = 0;
+    ///@}
+
     /** @name sugar: the Figure 2 access style */
     ///@{
     autorelease<T> pop_s() { return autorelease<T>( *this ); }
@@ -195,6 +255,71 @@ public:
     peek_range_t<T> peek_range( const std::size_t n )
     {
         return peek_range_t<T>( *this, n );
+    }
+    /** Bulk dual of allocate_s(): an RAII window of up to n writable slots,
+     *  published at scope exit. */
+    write_window_t<T> write_window( const std::size_t n )
+    {
+        return write_window_t<T>( *this, n );
+    }
+    /** Bulk dual of pop_s(): an RAII window over up to n readable elements,
+     *  consumed at scope exit. */
+    read_window_t<T> read_window( const std::size_t n )
+    {
+        return read_window_t<T>( *this, n );
+    }
+    ///@}
+
+    /** @name blocking bulk helpers (window-based, single publication per
+     *  claimed run) */
+    ///@{
+    /** Push all n elements of src, blocking as needed; the signals array
+     *  (when non-null) travels element-for-element. */
+    void push_n( T *src, const std::size_t n, const signal *sigs = nullptr )
+    {
+        std::size_t done = 0;
+        while( done < n )
+        {
+            T *data            = nullptr;
+            signal *slot_sigs  = nullptr;
+            std::uint64_t start = 0;
+            std::size_t mask    = 0;
+            const auto k = claim_write_window( n - done, &data, &slot_sigs,
+                                               &start, &mask );
+            for( std::size_t i = 0; i < k; ++i )
+            {
+                data[ ( start + i ) & mask ] = std::move( src[ done + i ] );
+                if( sigs != nullptr )
+                {
+                    slot_sigs[ ( start + i ) & mask ] = sigs[ done + i ];
+                }
+            }
+            publish_write_window( k, k );
+            done += k;
+        }
+    }
+
+    /** Pop between 1 and max_n elements into dst, blocking until at least
+     *  one is available. Returns the count. */
+    std::size_t pop_n( T *dst, const std::size_t max_n,
+                       signal *sigs = nullptr )
+    {
+        T *data            = nullptr;
+        signal *slot_sigs  = nullptr;
+        std::uint64_t start = 0;
+        std::size_t mask    = 0;
+        const auto k = claim_read_window( max_n, &data, &slot_sigs, &start,
+                                          &mask );
+        for( std::size_t i = 0; i < k; ++i )
+        {
+            dst[ i ] = std::move( data[ ( start + i ) & mask ] );
+            if( sigs != nullptr )
+            {
+                sigs[ i ] = slot_sigs[ ( start + i ) & mask ];
+            }
+        }
+        consume_read_window( k );
+        return k;
     }
     ///@}
 
@@ -342,6 +467,156 @@ private:
     std::uint64_t start_{ 0 };
     std::size_t mask_{ 0 };
     std::size_t size_;
+};
+
+/**
+ * RAII result of write_window(n): between 1 and n contiguous writable slots
+ * claimed under one resize-gate handshake, published with one index store
+ * when the window leaves scope. The bulk dual of allocate_ref. Assign
+ * through operator[]; publish(k) trims the published prefix (unassigned
+ * claimed slots are destroyed unpublished). Holding the window parks the
+ * monitor exactly like a held allocate_s claim.
+ */
+template <class T> class write_window_t
+{
+public:
+    write_window_t( fifo<T> &f, const std::size_t n ) : fifo_( &f )
+    {
+        claimed_ = fifo_->claim_write_window( n == 0 ? 1 : n, &data_,
+                                              &sigs_, &start_, &mask_ );
+        publish_ = claimed_;
+    }
+
+    write_window_t( write_window_t &&other ) noexcept
+        : fifo_( other.fifo_ ), data_( other.data_ ), sigs_( other.sigs_ ),
+          start_( other.start_ ), mask_( other.mask_ ),
+          claimed_( other.claimed_ ), publish_( other.publish_ )
+    {
+        other.fifo_ = nullptr;
+    }
+
+    write_window_t( const write_window_t & )            = delete;
+    write_window_t &operator=( const write_window_t & ) = delete;
+    write_window_t &operator=( write_window_t && )      = delete;
+
+    ~write_window_t()
+    {
+        if( fifo_ != nullptr )
+        {
+            fifo_->publish_write_window( claimed_, publish_ );
+        }
+    }
+
+    /** Slots claimed (1 ≤ size() ≤ requested n). */
+    std::size_t size() const noexcept { return claimed_; }
+
+    T &operator[]( const std::size_t i ) noexcept
+    {
+        return data_[ ( start_ + i ) & mask_ ];
+    }
+
+    /** Signal shipped with slot i (defaults to none). */
+    void set_signal( const std::size_t i, const signal s ) noexcept
+    {
+        sigs_[ ( start_ + i ) & mask_ ] = s;
+    }
+
+    /** Signal on the last slot that will publish (eos convention). */
+    void set_signal( const signal s ) noexcept
+    {
+        if( publish_ > 0 )
+        {
+            set_signal( publish_ - 1, s );
+        }
+    }
+
+    /** Publish only the first k claimed slots (k ≤ size()). */
+    void publish( const std::size_t k ) noexcept
+    {
+        publish_ = ( k < claimed_ ) ? k : claimed_;
+    }
+
+private:
+    fifo<T> *fifo_;
+    T *data_{ nullptr };
+    signal *sigs_{ nullptr };
+    std::uint64_t start_{ 0 };
+    std::size_t mask_{ 0 };
+    std::size_t claimed_{ 0 };
+    std::size_t publish_{ 0 };
+};
+
+/**
+ * RAII result of read_window(n): between 1 and n readable elements claimed
+ * under one handshake, consumed (destroyed + single head advance) when the
+ * window leaves scope. The bulk dual of autorelease. Elements may be moved
+ * out through operator[]; keep(k) retains the last size()-k elements in the
+ * queue instead of consuming them.
+ */
+template <class T> class read_window_t
+{
+public:
+    read_window_t( fifo<T> &f, const std::size_t n ) : fifo_( &f )
+    {
+        claimed_ = fifo_->claim_read_window( n == 0 ? 1 : n, &data_,
+                                             &sigs_, &start_, &mask_ );
+        consume_ = claimed_;
+    }
+
+    read_window_t( read_window_t &&other ) noexcept
+        : fifo_( other.fifo_ ), data_( other.data_ ), sigs_( other.sigs_ ),
+          start_( other.start_ ), mask_( other.mask_ ),
+          claimed_( other.claimed_ ), consume_( other.consume_ )
+    {
+        other.fifo_ = nullptr;
+    }
+
+    read_window_t( const read_window_t & )            = delete;
+    read_window_t &operator=( const read_window_t & ) = delete;
+    read_window_t &operator=( read_window_t && )      = delete;
+
+    ~read_window_t()
+    {
+        if( fifo_ != nullptr )
+        {
+            fifo_->consume_read_window( consume_ );
+        }
+    }
+
+    /** Elements claimed (1 ≤ size() ≤ requested n). */
+    std::size_t size() const noexcept { return claimed_; }
+
+    T &operator[]( const std::size_t i ) noexcept
+    {
+        return data_[ ( start_ + i ) & mask_ ];
+    }
+
+    const T &operator[]( const std::size_t i ) const noexcept
+    {
+        return data_[ ( start_ + i ) & mask_ ];
+    }
+
+    /** Signal delivered with element i. */
+    signal sig( const std::size_t i ) const noexcept
+    {
+        return sigs_[ ( start_ + i ) & mask_ ];
+    }
+
+    /** Consume only the first k claimed elements (k ≤ size()); the rest
+     *  stay queued. */
+    void consume( const std::size_t k ) noexcept
+    {
+        consume_ = ( k < claimed_ ) ? k : claimed_;
+    }
+
+private:
+    fifo<T> *fifo_;
+    T *data_{ nullptr };
+    signal *sigs_{ nullptr };
+    std::uint64_t start_{ 0 };
+    std::size_t mask_{ 0 };
+    std::size_t claimed_{ 0 };
+    std::size_t consume_{ 0 };
 };
 
 } /** end namespace raft **/

@@ -43,6 +43,10 @@ public:
         output.addPort<mem_range>( "0" );
     }
 
+    /** Descriptors emitted per run(): one write-window handshake publishes
+     *  a whole batch of segments. */
+    static constexpr std::size_t batch = 64;
+
     kstatus run() override
     {
         const auto total = corpus_->size();
@@ -50,17 +54,23 @@ public:
         {
             return raft::stop;
         }
-        const auto body = std::min( segment_, total - cursor_ );
-        const auto len  = std::min( body + overlap_, total - cursor_ );
-        auto out        = output[ "0" ].allocate_s<mem_range>();
-        out->data     = corpus_->data() + cursor_;
-        out->len      = len;
-        out->body_len = body;
-        out->offset   = cursor_;
-        cursor_ += body;
+        auto w = output[ "0" ].allocate_range<mem_range>( batch );
+        std::size_t i = 0;
+        while( i < w.size() && cursor_ < total )
+        {
+            const auto body = std::min( segment_, total - cursor_ );
+            const auto len  = std::min( body + overlap_, total - cursor_ );
+            auto &d         = w[ i++ ];
+            d.data          = corpus_->data() + cursor_;
+            d.len           = len;
+            d.body_len      = body;
+            d.offset        = cursor_;
+            cursor_ += body;
+        }
+        w.publish( i );
         if( cursor_ >= total )
         {
-            out.set_signal( raft::eos );
+            w.set_signal( raft::eos );
             return raft::stop;
         }
         return raft::proceed;

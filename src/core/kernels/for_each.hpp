@@ -34,22 +34,31 @@ public:
         output.addPort<range<T>>( "0" );
     }
 
+    /** Descriptors emitted per run(): one write-window handshake publishes
+     *  a whole batch of segments. */
+    static constexpr std::size_t batch = 64;
+
     kstatus run() override
     {
         if( cursor_ >= length_ )
         {
             return raft::stop;
         }
-        const auto n =
-            std::min( segment_, length_ - cursor_ );
-        auto out  = output[ "0" ].template allocate_s<range<T>>();
-        out->data   = data_ + cursor_;
-        out->len    = n;
-        out->offset = cursor_;
-        cursor_ += n;
+        auto w = output[ "0" ].template allocate_range<range<T>>( batch );
+        std::size_t i = 0;
+        while( i < w.size() && cursor_ < length_ )
+        {
+            const auto n  = std::min( segment_, length_ - cursor_ );
+            auto &d       = w[ i++ ];
+            d.data        = data_ + cursor_;
+            d.len         = n;
+            d.offset      = cursor_;
+            cursor_ += n;
+        }
+        w.publish( i );
         if( cursor_ >= length_ )
         {
-            out.set_signal( raft::eos );
+            w.set_signal( raft::eos );
             return raft::stop;
         }
         return raft::proceed;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <type_traits>
 
 #include "core/kernel.hpp"
 
@@ -17,6 +18,10 @@ namespace raft {
 template <class T> class read_each : public kernel
 {
 public:
+    /** Elements claimed per run(): one write-window handshake feeds a whole
+     *  batch downstream instead of paying per-element synchronization. */
+    static constexpr std::size_t batch = 64;
+
     template <class It>
     read_each( It begin, It end ) : kernel()
     {
@@ -36,13 +41,45 @@ public:
 
     kstatus run() override
     {
-        auto v = next_();
-        if( !v.has_value() )
+        if constexpr( std::is_default_constructible_v<T> &&
+                      std::is_move_assignable_v<T> )
         {
+            auto w        = output[ "0" ].template allocate_range<T>( batch );
+            std::size_t i = 0;
+            bool more     = true;
+            while( i < w.size() )
+            {
+                auto v = next_();
+                if( !v.has_value() )
+                {
+                    more = false;
+                    break;
+                }
+                w[ i++ ] = std::move( *v );
+            }
+            w.publish( i );
+            if( more )
+            {
+                return raft::proceed;
+            }
+            if( i > 0 )
+            {
+                w.set_signal( raft::eos );
+            }
             return raft::stop;
         }
-        output[ "0" ].push<T>( std::move( *v ) );
-        return raft::proceed;
+        else
+        {
+            /** window slots need default construction + move assignment;
+             *  fall back to element-at-a-time for exotic types **/
+            auto v = next_();
+            if( !v.has_value() )
+            {
+                return raft::stop;
+            }
+            output[ "0" ].push<T>( std::move( *v ) );
+            return raft::proceed;
+        }
     }
 
 private:

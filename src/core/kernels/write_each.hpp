@@ -25,11 +25,17 @@ public:
         };
     }
 
+    /** Elements drained per run(): one read-window handshake consumes a
+     *  whole batch instead of paying per-element synchronization. */
+    static constexpr std::size_t batch = 64;
+
     kstatus run() override
     {
-        T v{};
-        input[ "0" ].pop<T>( v );
-        sink_( std::move( v ) );
+        auto w = input[ "0" ].template pop_s<T>( batch );
+        for( std::size_t i = 0; i < w.size(); ++i )
+        {
+            sink_( std::move( w[ i ] ) );
+        }
         return raft::proceed;
     }
 

@@ -9,7 +9,9 @@ namespace raft {
 namespace {
 /** Elements an adapter moves per run() invocation before yielding back to
  *  the scheduler — enough to amortize the virtual-call cost, small enough
- *  to keep adapters responsive. */
+ *  to keep adapters responsive. Non-strict routes and merges move this many
+ *  in one fifo_base::try_transfer_n call (one handshake entry per queue end
+ *  instead of one per element). */
 constexpr std::size_t adapter_burst = 64;
 } /** end anonymous namespace **/
 
@@ -42,7 +44,8 @@ std::vector<fifo_base *> &split_kernel::cached_outputs()
     return outs_cache_;
 }
 
-bool split_kernel::route( fifo_base &in, std::vector<fifo_base *> &outs )
+std::size_t split_kernel::route( fifo_base &in,
+                                 std::vector<fifo_base *> &outs )
 {
     const auto n = outs.size();
     if( strategy_->strict() )
@@ -58,21 +61,21 @@ bool split_kernel::route( fifo_base &in, std::vector<fifo_base *> &outs )
         if( o.read_closed() )
         {
             pending_choice_.reset(); /** dead replica: skip the slot **/
-            return false;
+            return 0;
         }
         try
         {
             if( in.try_transfer_to( o ) )
             {
                 pending_choice_.reset();
-                return true;
+                return 1;
             }
         }
         catch( const closed_port_exception & )
         {
             pending_choice_.reset();
         }
-        return false;
+        return 0;
     }
     const auto pref = strategy_->choose( outs );
     for( std::size_t k = 0; k < n; ++k )
@@ -84,9 +87,12 @@ bool split_kernel::route( fifo_base &in, std::vector<fifo_base *> &outs )
         }
         try
         {
-            if( in.try_transfer_to( o ) )
+            /** non-strict: the whole burst may go to one replica, so move
+             *  it batched under a single handshake per queue end **/
+            const auto moved = in.try_transfer_n( o, adapter_burst );
+            if( moved > 0 )
             {
-                return true;
+                return moved;
             }
         }
         catch( const closed_port_exception & )
@@ -94,7 +100,7 @@ bool split_kernel::route( fifo_base &in, std::vector<fifo_base *> &outs )
             continue;
         }
     }
-    return false;
+    return 0;
 }
 
 kstatus split_kernel::run()
@@ -116,16 +122,17 @@ kstatus split_kernel::run()
         return raft::stop; /** nobody left to feed **/
     }
 
-    bool moved = false;
-    for( std::size_t i = 0; i < adapter_burst; ++i )
+    std::size_t moved = 0;
+    while( moved < adapter_burst )
     {
-        if( !route( in, outs ) )
+        const auto k = route( in, outs );
+        if( k == 0 )
         {
             break;
         }
-        moved = true;
+        moved += k;
     }
-    if( moved )
+    if( moved > 0 )
     {
         idle_.reset();
         return raft::proceed;
@@ -172,19 +179,21 @@ std::vector<fifo_base *> &reduce_kernel::cached_inputs()
     return ins_cache_;
 }
 
-bool reduce_kernel::merge( std::vector<fifo_base *> &ins, fifo_base &out )
+std::size_t reduce_kernel::merge( std::vector<fifo_base *> &ins,
+                                  fifo_base &out )
 {
     const auto n = ins.size();
     for( std::size_t k = 0; k < n; ++k )
     {
-        const auto i = ( scan_ + k ) % n;
-        if( ins[ i ]->try_transfer_to( out ) )
+        const auto i     = ( scan_ + k ) % n;
+        const auto moved = ins[ i ]->try_transfer_n( out, adapter_burst );
+        if( moved > 0 )
         {
             scan_ = ( i + 1 ) % n;
-            return true;
+            return moved;
         }
     }
-    return false;
+    return 0;
 }
 
 kstatus reduce_kernel::run()
@@ -192,16 +201,17 @@ kstatus reduce_kernel::run()
     fifo_base &out = output[ "0" ].raw();
     auto &ins      = cached_inputs();
 
-    bool moved = false;
-    for( std::size_t i = 0; i < adapter_burst; ++i )
+    std::size_t moved = 0;
+    while( moved < adapter_burst )
     {
-        if( !merge( ins, out ) )
+        const auto k = merge( ins, out );
+        if( k == 0 )
         {
             break;
         }
-        moved = true;
+        moved += k;
     }
-    if( moved )
+    if( moved > 0 )
     {
         idle_.reset();
         return raft::proceed;

@@ -46,9 +46,12 @@ public:
     bool ready() const override;
 
 protected:
-    /** Move one element from `in` to one of `outs`; false when no output
-     *  could accept it. Override for custom split behaviour. */
-    virtual bool route( fifo_base &in, std::vector<fifo_base *> &outs );
+    /** Move up to `adapter_burst` elements from `in` to one of `outs`
+     *  (strict strategies deal exactly one to keep the sequence); returns
+     *  the number moved, 0 when no output could accept any. Override for
+     *  custom split behaviour. */
+    virtual std::size_t route( fifo_base &in,
+                               std::vector<fifo_base *> &outs );
 
 private:
     std::vector<fifo_base *> &cached_outputs();
@@ -74,9 +77,11 @@ public:
     bool ready() const override;
 
 protected:
-    /** Move at most one element from some input to `out`; false when no
-     *  input had data. Override for custom merge behaviour. */
-    virtual bool merge( std::vector<fifo_base *> &ins, fifo_base &out );
+    /** Move up to `adapter_burst` elements from some input to `out` under a
+     *  single handshake pair; returns the number moved, 0 when no input had
+     *  data. Override for custom merge behaviour. */
+    virtual std::size_t merge( std::vector<fifo_base *> &ins,
+                               fifo_base &out );
 
 private:
     std::vector<fifo_base *> &cached_inputs();

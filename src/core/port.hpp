@@ -158,6 +158,59 @@ public:
     }
     ///@}
 
+    /** @name batched data access
+     * The bulk duals of the Figure 2 accessors: allocate_range(n) is the
+     * writer-side peek_range — an RAII window of up to n slots claimed
+     * under one synchronization handshake and published with one index
+     * store; pop_s(n) drains up to n elements the same way. Kernels with
+     * element-at-a-time inner loops should prefer these (see DESIGN.md
+     * "Batched transfer").
+     */
+    ///@{
+    /** Claim an RAII write window of up to n slots (≥ 1). */
+    template <class T> write_window_t<T> allocate_range( const std::size_t n )
+    {
+        return typed<T>().write_window( n );
+    }
+
+    /** Bulk pop_s: an RAII read window over up to n elements (≥ 1),
+     *  consumed at scope exit. */
+    template <class T> read_window_t<T> pop_s( const std::size_t n )
+    {
+        return typed<T>().read_window( n );
+    }
+
+    /** Blocking bulk push of all n elements of src. */
+    template <class T>
+    void push_n( T *src, const std::size_t n, const signal *sigs = nullptr )
+    {
+        typed<T>().push_n( src, n, sigs );
+    }
+
+    /** Blocking bulk pop of 1..max_n elements into dst; returns count. */
+    template <class T>
+    std::size_t pop_n( T *dst, const std::size_t max_n,
+                       signal *sigs = nullptr )
+    {
+        return typed<T>().pop_n( dst, max_n, sigs );
+    }
+
+    /** Non-blocking bulk variants. */
+    template <class T>
+    std::size_t try_push_n( T *src, const std::size_t n,
+                            const signal *sigs = nullptr )
+    {
+        return typed<T>().try_push_n( src, n, sigs );
+    }
+
+    template <class T>
+    std::size_t try_pop_n( T *dst, const std::size_t n,
+                           signal *sigs = nullptr )
+    {
+        return typed<T>().try_pop_n( dst, n, sigs );
+    }
+    ///@}
+
     /** @name occupancy (through the bound stream) */
     ///@{
     std::size_t size() const { return fifo_ ? fifo_->size() : 0; }

@@ -9,6 +9,26 @@
  * Fast path: one cache-line-padded monotonic counter per queue end, a
  * relaxed gate check, release/acquire publication — no locks, no CAS loops.
  *
+ * Shadow indices: each end keeps a thread-private cached copy of the
+ * *opposite* end's counter on its own cache line (producer caches head_,
+ * consumer caches tail_). The cached value only lags the real one, so using
+ * it is always conservative (the producer under-estimates free space, the
+ * consumer under-estimates occupancy); the real counter is re-read only when
+ * the cache implies full/empty. In steady state the remote cache line is
+ * touched once per buffer-full of elements instead of once per element.
+ * resize() re-seeds both caches while the ends are parked — the Dekker
+ * handshake orders those plain writes against the owning thread's accesses.
+ *
+ * Batched windows: claim_write_window/claim_read_window acquire N contiguous
+ * slots under a single handshake entry and publish/consume them with one
+ * index store. A held window parks the monitor exactly like a held
+ * claim_head, so resize-gate semantics are unchanged.
+ *
+ * Static streams: set_auto_resize(false) declares that no resize() will run
+ * concurrently with traffic (the monitor never gates a static stream), which
+ * lets enter_prod/enter_cons skip the seq_cst Dekker publication entirely —
+ * a relaxed flag check is all that remains of the handshake.
+ *
  * Dynamic resizing (§4): a monitor thread samples every δ and calls
  * resize(). The resize protocol is the paper's "lock-free exclusion... only
  * under certain conditions":
@@ -83,8 +103,12 @@ public:
     ///@{
     std::size_t size() const noexcept override
     {
+        /** One acquire on the opposite end suffices (§4.2): reading head
+         *  first guarantees t >= h because head never passes tail and both
+         *  grow monotonically — the second acquire bought nothing. Reading
+         *  in the other order could observe h > t and wrap. */
+        const auto h = head_.load( std::memory_order_relaxed );
         const auto t = tail_.load( std::memory_order_acquire );
-        const auto h = head_.load( std::memory_order_acquire );
         return static_cast<std::size_t>( t - h );
     }
 
@@ -95,6 +119,9 @@ public:
 
     std::size_t space_avail() const noexcept override
     {
+        /** size() now never exceeds the true occupancy snapshot, but a
+         *  racing resize can still shrink capacity between the two loads —
+         *  keep the clamp. */
         const auto cap = capacity();
         const auto sz  = size();
         return ( sz > cap ) ? 0 : cap - sz;
@@ -183,6 +210,11 @@ public:
                                 std::memory_order_relaxed );
         head_.store( 0, std::memory_order_relaxed );
         tail_.store( n, std::memory_order_relaxed );
+        /** re-seed the shadow indices: both ends are parked, and their next
+         *  gate acquisition synchronizes with the release of gate_ below,
+         *  so these plain stores are ordered against the owning threads **/
+        cached_head_ = 0;
+        cached_tail_ = n;
         capacity_.store( cap_req, std::memory_order_relaxed );
         mask_.store( cap_req - 1, std::memory_order_relaxed );
         resize_count_.fetch_add( 1, std::memory_order_relaxed );
@@ -217,6 +249,10 @@ public:
     void set_auto_resize( const bool enabled ) noexcept override
     {
         auto_resize_.store( enabled, std::memory_order_release );
+        /** a static stream (monitor will never gate it) runs the queue ends
+         *  without the seq_cst Dekker publication; resize() must then only
+         *  be called while both ends are quiescent **/
+        gated_.store( enabled, std::memory_order_release );
     }
 
     bool auto_resize() const noexcept override
@@ -236,13 +272,23 @@ public:
         auto &dst = static_cast<fifo<T> &>( dstb );
         enter_cons();
         const auto h = head_.load( std::memory_order_relaxed );
-        const auto t = tail_.load( std::memory_order_acquire );
+        const auto t = cons_tail( h );
         bool ok = false;
         if( t != h )
         {
             const auto m = mask_.load( std::memory_order_relaxed );
             T &slot      = data_[ h & m ];
-            if( dst.try_push( std::move( slot ), sigs_[ h & m ] ) )
+            bool pushed  = false;
+            try
+            {
+                pushed = dst.try_push( std::move( slot ), sigs_[ h & m ] );
+            }
+            catch( ... )
+            {
+                exit_cons();
+                throw;
+            }
+            if( pushed )
             {
                 slot.~T();
                 head_.store( h + 1, std::memory_order_release );
@@ -251,6 +297,64 @@ public:
         }
         exit_cons();
         return ok;
+    }
+
+    std::size_t try_transfer_n( fifo_base &dstb,
+                                const std::size_t max_n ) override
+    {
+        if( max_n == 0 || dstb.value_type() != typeid( T ) )
+        {
+            return 0;
+        }
+        auto &dst = static_cast<fifo<T> &>( dstb );
+        enter_cons();
+        const auto h     = head_.load( std::memory_order_relaxed );
+        const auto t     = cons_tail( h );
+        const auto avail = static_cast<std::size_t>( t - h );
+        std::size_t done = 0;
+        if( avail > 0 )
+        {
+            const auto m    = mask_.load( std::memory_order_relaxed );
+            const auto want = std::min( avail, max_n );
+            /** the run is at most two contiguous segments around the wrap;
+             *  each segment moves under one handshake entry on dst **/
+            try
+            {
+                while( done < want )
+                {
+                    const auto idx = static_cast<std::size_t>(
+                        ( h + done ) & m );
+                    const auto seg =
+                        std::min( want - done, ( m + 1 ) - idx );
+                    const auto k =
+                        dst.try_push_n( data_ + idx, seg, sigs_ + idx );
+                    for( std::size_t i = 0; i < k; ++i )
+                    {
+                        data_[ idx + i ].~T();
+                    }
+                    done += k;
+                    if( k < seg )
+                    {
+                        break; /** dst full **/
+                    }
+                }
+            }
+            catch( ... )
+            {
+                if( done > 0 )
+                {
+                    head_.store( h + done, std::memory_order_release );
+                }
+                exit_cons();
+                throw;
+            }
+            if( done > 0 )
+            {
+                head_.store( h + done, std::memory_order_release );
+            }
+        }
+        exit_cons();
+        return done;
     }
     ///@}
 
@@ -346,7 +450,7 @@ public:
         {
             enter_cons();
             const auto h = head_.load( std::memory_order_relaxed );
-            const auto t = tail_.load( std::memory_order_acquire );
+            const auto t = cons_tail( h );
             if( t != h )
             {
                 const auto m = mask_.load( std::memory_order_relaxed );
@@ -390,7 +494,7 @@ public:
         {
             enter_cons();
             const auto h = head_.load( std::memory_order_relaxed );
-            const auto t = tail_.load( std::memory_order_acquire );
+            const auto t = cons_tail( h, remaining );
             const auto avail = static_cast<std::size_t>( t - h );
             if( avail > 0 )
             {
@@ -426,8 +530,8 @@ public:
         }
         enter_prod();
         const auto t   = tail_.load( std::memory_order_relaxed );
-        const auto h   = head_.load( std::memory_order_acquire );
         const auto cap = capacity_.load( std::memory_order_relaxed );
+        const auto h   = prod_head( t, cap );
         bool ok        = false;
         if( static_cast<std::size_t>( t - h ) < cap )
         {
@@ -446,7 +550,7 @@ public:
     {
         enter_cons();
         const auto h = head_.load( std::memory_order_relaxed );
-        const auto t = tail_.load( std::memory_order_acquire );
+        const auto t = cons_tail( h );
         bool ok      = false;
         if( t != h )
         {
@@ -464,6 +568,196 @@ public:
         exit_cons();
         return ok;
     }
+
+    std::size_t try_push_n( T *src, const std::size_t n,
+                            const signal *sigs = nullptr ) override
+    {
+        if( n == 0 )
+        {
+            return 0;
+        }
+        if( read_closed() )
+        {
+            throw closed_port_exception(
+                "push on a stream whose reader terminated" );
+        }
+        enter_prod();
+        const auto t   = tail_.load( std::memory_order_relaxed );
+        const auto cap = capacity_.load( std::memory_order_relaxed );
+        /** reload the shadow cache when it cannot cover the full batch **/
+        const auto h     = prod_head( t, cap, std::min( n, cap ) );
+        const auto space = cap - static_cast<std::size_t>( t - h );
+        const auto k     = std::min( n, space );
+        if( k > 0 )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            for( std::size_t i = 0; i < k; ++i )
+            {
+                const auto idx = ( t + i ) & m;
+                ::new( static_cast<void *>( data_ + idx ) )
+                    T( std::move( src[ i ] ) );
+                sigs_[ idx ] = ( sigs != nullptr ) ? sigs[ i ] : none;
+            }
+            tail_.store( t + k, std::memory_order_release );
+        }
+        exit_prod();
+        return k;
+    }
+
+    std::size_t try_pop_n( T *dst, const std::size_t n,
+                           signal *sigs = nullptr ) override
+    {
+        if( n == 0 )
+        {
+            return 0;
+        }
+        enter_cons();
+        const auto h     = head_.load( std::memory_order_relaxed );
+        const auto t     = cons_tail( h, n );
+        const auto avail = static_cast<std::size_t>( t - h );
+        const auto k     = std::min( n, avail );
+        if( k > 0 )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            for( std::size_t i = 0; i < k; ++i )
+            {
+                const auto idx = ( h + i ) & m;
+                T &slot        = data_[ idx ];
+                dst[ i ]       = std::move( slot );
+                if( sigs != nullptr )
+                {
+                    sigs[ i ] = sigs_[ idx ];
+                }
+                slot.~T();
+            }
+            head_.store( h + k, std::memory_order_release );
+        }
+        exit_cons();
+        return k;
+    }
+    ///@}
+
+    /** @name fifo<T>: batched window claims */
+    ///@{
+    std::size_t claim_write_window( std::size_t max_n,
+                                    T **data,
+                                    signal **sigs,
+                                    std::uint64_t *start,
+                                    std::size_t *mask ) override
+    {
+        static_assert( std::is_default_constructible_v<T>,
+                       "write windows require a default-constructible "
+                       "type" );
+        if( max_n == 0 )
+        {
+            max_n = 1;
+        }
+        detail::backoff b;
+        for( ;; )
+        {
+            if( read_closed() )
+            {
+                throw closed_port_exception(
+                    "allocate_range on a stream whose reader terminated" );
+            }
+            enter_prod();
+            const auto t   = tail_.load( std::memory_order_relaxed );
+            const auto cap = capacity_.load( std::memory_order_relaxed );
+            /** need = full request: reload the shadow cache (once per
+             *  window) whenever it cannot cover max_n, so claims come
+             *  back full-sized rather than cache-lag-sized **/
+            const auto h =
+                prod_head( t, cap, std::min( max_n, cap ) );
+            const auto space = cap - static_cast<std::size_t>( t - h );
+            if( space > 0 )
+            {
+                const auto k = std::min( max_n, space );
+                const auto m = mask_.load( std::memory_order_relaxed );
+                for( std::size_t i = 0; i < k; ++i )
+                {
+                    const auto idx = ( t + i ) & m;
+                    ::new( static_cast<void *>( data_ + idx ) ) T();
+                    sigs_[ idx ] = none;
+                }
+                *data  = data_;
+                *sigs  = sigs_;
+                *start = t;
+                *mask  = m;
+                clear_write_block();
+                /** claim held — released by publish_write_window **/
+                return k;
+            }
+            exit_prod();
+            note_write_block();
+            b.pause();
+        }
+    }
+
+    void publish_write_window( const std::size_t claimed,
+                               const std::size_t n ) noexcept override
+    {
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        for( std::size_t i = n; i < claimed; ++i )
+        {
+            data_[ ( t + i ) & m ].~T();
+        }
+        if( n > 0 )
+        {
+            tail_.store( t + n, std::memory_order_release );
+        }
+        exit_prod();
+    }
+
+    std::size_t claim_read_window( std::size_t max_n,
+                                   T **data,
+                                   signal **sigs,
+                                   std::uint64_t *start,
+                                   std::size_t *mask ) override
+    {
+        if( max_n == 0 )
+        {
+            max_n = 1;
+        }
+        detail::backoff b;
+        for( ;; )
+        {
+            enter_cons();
+            const auto h = head_.load( std::memory_order_relaxed );
+            /** same full-request reload policy as claim_write_window **/
+            const auto t     = cons_tail( h, max_n );
+            const auto avail = static_cast<std::size_t>( t - h );
+            if( avail > 0 )
+            {
+                *data  = data_;
+                *sigs  = sigs_;
+                *start = h;
+                *mask  = mask_.load( std::memory_order_relaxed );
+                clear_read_block();
+                /** claim held — released by consume_read_window **/
+                return std::min( max_n, avail );
+            }
+            exit_cons();
+            throw_if_drained();
+            note_read_block();
+            b.pause();
+        }
+    }
+
+    void consume_read_window( const std::size_t n ) noexcept override
+    {
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto m = mask_.load( std::memory_order_relaxed );
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            data_[ ( h + i ) & m ].~T();
+        }
+        if( n > 0 )
+        {
+            head_.store( h + n, std::memory_order_release );
+        }
+        exit_cons();
+    }
     ///@}
 
     /** @name fifo<T>: claim primitives */
@@ -475,7 +769,7 @@ public:
         {
             enter_cons();
             const auto h = head_.load( std::memory_order_relaxed );
-            const auto t = tail_.load( std::memory_order_acquire );
+            const auto t = cons_tail( h );
             if( t != h )
             {
                 const auto m = mask_.load( std::memory_order_relaxed );
@@ -516,8 +810,8 @@ public:
             }
             enter_prod();
             const auto t   = tail_.load( std::memory_order_relaxed );
-            const auto h   = head_.load( std::memory_order_acquire );
             const auto cap = capacity_.load( std::memory_order_relaxed );
+            const auto h   = prod_head( t, cap );
             if( static_cast<std::size_t>( t - h ) < cap )
             {
                 const auto m = mask_.load( std::memory_order_relaxed );
@@ -576,7 +870,7 @@ public:
             }
             enter_cons();
             const auto h = head_.load( std::memory_order_relaxed );
-            const auto t = tail_.load( std::memory_order_acquire );
+            const auto t = cons_tail( h, n );
             if( static_cast<std::size_t>( t - h ) >= n )
             {
                 *data  = data_;
@@ -622,8 +916,8 @@ private:
             }
             enter_prod();
             const auto t   = tail_.load( std::memory_order_relaxed );
-            const auto h   = head_.load( std::memory_order_acquire );
             const auto cap = capacity_.load( std::memory_order_relaxed );
+            const auto h   = prod_head( t, cap );
             if( static_cast<std::size_t>( t - h ) < cap )
             {
                 const auto m = mask_.load( std::memory_order_relaxed );
@@ -654,6 +948,42 @@ private:
         }
     }
 
+    /** @name shadow-index refresh (see file header)
+     * Thread-private caches of the opposite end's counter. Values only lag
+     * the real counter, so acting on them is conservative; re-read the real
+     * (remote) cache line only when the cached value implies no progress is
+     * possible — i.e. once per batch/wrap instead of once per element.
+     */
+    ///@{
+    /** Producer view of head_; refreshed when the cache shows fewer than
+     *  `need` free slots. Call only between enter_prod/exit_prod. */
+    std::uint64_t prod_head( const std::uint64_t t, const std::size_t cap,
+                             const std::size_t need = 1 ) noexcept
+    {
+        auto h = cached_head_;
+        if( static_cast<std::size_t>( t - h ) + need > cap )
+        {
+            h            = head_.load( std::memory_order_acquire );
+            cached_head_ = h;
+        }
+        return h;
+    }
+
+    /** Consumer view of tail_; refreshed when the cache shows fewer than
+     *  `need` occupied slots. Call only between enter_cons/exit_cons. */
+    std::uint64_t cons_tail( const std::uint64_t h,
+                             const std::size_t need = 1 ) noexcept
+    {
+        auto t = cached_tail_;
+        if( static_cast<std::size_t>( t - h ) < need )
+        {
+            t            = tail_.load( std::memory_order_acquire );
+            cached_tail_ = t;
+        }
+        return t;
+    }
+    ///@}
+
     /** @name gate handshake (see file header) */
     ///@{
     void enter_prod() noexcept
@@ -662,6 +992,12 @@ private:
         {
             return;
         }
+        if( !gated_.load( std::memory_order_relaxed ) )
+        {
+            prod_announced_ = false; /** static stream: no Dekker store **/
+            return;
+        }
+        prod_announced_ = true;
         for( ;; )
         {
             prod_op_.store( true, std::memory_order_seq_cst );
@@ -676,7 +1012,7 @@ private:
 
     void exit_prod() noexcept
     {
-        if( --prod_depth_ == 0 )
+        if( --prod_depth_ == 0 && prod_announced_ )
         {
             prod_op_.store( false, std::memory_order_release );
         }
@@ -688,6 +1024,12 @@ private:
         {
             return;
         }
+        if( !gated_.load( std::memory_order_relaxed ) )
+        {
+            cons_announced_ = false; /** static stream: no Dekker store **/
+            return;
+        }
+        cons_announced_ = true;
         for( ;; )
         {
             cons_op_.store( true, std::memory_order_seq_cst );
@@ -702,7 +1044,7 @@ private:
 
     void exit_cons() noexcept
     {
-        if( --cons_depth_ == 0 )
+        if( --cons_depth_ == 0 && cons_announced_ )
         {
             cons_op_.store( false, std::memory_order_release );
         }
@@ -741,16 +1083,26 @@ private:
     std::atomic<std::size_t> capacity_{ 0 };
     std::atomic<std::size_t> mask_{ 0 };
 
-    /** hot indices, one cache line each **/
+    /** hot indices: one cache line per end, holding the end's own counter,
+     *  its shadow of the opposite counter and its thread-private handshake
+     *  bookkeeping (shadow/bookkeeping fields are plain — ordered by the
+     *  gate protocol when the monitor touches them during resize) **/
     alignas( cacheline_size ) std::atomic<std::uint64_t> head_{ 0 };
+    std::uint64_t cached_tail_{ 0 };  /**< consumer's shadow of tail_ */
+    int cons_depth_{ 0 };             /**< consumer claim nesting depth */
+    bool cons_announced_{ false };    /**< consumer published cons_op_ */
     alignas( cacheline_size ) std::atomic<std::uint64_t> tail_{ 0 };
+    std::uint64_t cached_head_{ 0 };  /**< producer's shadow of head_ */
+    int prod_depth_{ 0 };             /**< producer claim nesting depth */
+    bool prod_announced_{ false };    /**< producer published prod_op_ */
 
     /** gate handshake state **/
     alignas( cacheline_size ) std::atomic<bool> gate_{ false };
     std::atomic<bool> prod_op_{ false };
     std::atomic<bool> cons_op_{ false };
-    int prod_depth_{ 0 }; /**< producer-thread private nesting depth */
-    int cons_depth_{ 0 }; /**< consumer-thread private nesting depth */
+    /** false once set_auto_resize(false) declares the stream static: the
+     *  monitor never gates it, so the ends skip the Dekker publication **/
+    std::atomic<bool> gated_{ true };
 
     /** lifecycle **/
     std::atomic<bool> write_closed_{ false };

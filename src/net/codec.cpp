@@ -1,8 +1,44 @@
 #include "net/codec.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace raft::net {
+
+void append_scalar_frame( std::vector<std::uint8_t> &out,
+                          const std::uint8_t sig,
+                          const void *payload,
+                          const std::size_t payload_size )
+{
+    const auto base = out.size();
+    out.resize( base + 1 + payload_size );
+    out[ base ] = sig;
+    std::memcpy( out.data() + base + 1, payload, payload_size );
+}
+
+frame_scan_result scan_scalar_frames( const std::uint8_t *data,
+                                      const std::size_t n,
+                                      const std::size_t payload_size ) noexcept
+{
+    frame_scan_result r;
+    const auto frame_size = 1 + payload_size;
+    while( r.consumed < n )
+    {
+        if( data[ r.consumed ] == scalar_eof_frame )
+        {
+            ++r.consumed;
+            r.eof = true;
+            break;
+        }
+        if( n - r.consumed < frame_size )
+        {
+            break; /** partial trailing frame: wait for more bytes **/
+        }
+        r.consumed += frame_size;
+        ++r.frames;
+    }
+    return r;
+}
 
 std::vector<std::uint8_t> rle_compress( const std::uint8_t *data,
                                         const std::size_t n )

@@ -40,6 +40,37 @@ std::vector<std::uint8_t> rle_decompress( const std::uint8_t *data,
                                           std::size_t max_output );
 ///@}
 
+/** @name scalar frame batching (tcp_kernels wire format)
+ * One stream element travels as [1 signal byte][payload_size bytes]; the
+ * end-of-stream marker is a lone 0xFF signal byte. These helpers let the
+ * TCP kernels gather many frames into one buffer (single send(2)) and scan
+ * a received byte buffer for the complete frames it contains (single
+ * recv(2) feeding a batched queue publication).
+ */
+///@{
+inline constexpr std::uint8_t scalar_eof_frame = 0xFF;
+
+/** Append one [sig][payload] frame to out. */
+void append_scalar_frame( std::vector<std::uint8_t> &out,
+                          std::uint8_t sig,
+                          const void *payload,
+                          std::size_t payload_size );
+
+struct frame_scan_result
+{
+    std::size_t frames{ 0 };   /**< complete payload frames found      */
+    std::size_t consumed{ 0 }; /**< bytes covered incl. any EOF marker */
+    bool eof{ false };         /**< hit the end-of-stream marker       */
+};
+
+/** Count the complete [sig][payload] frames at the front of data[0..n),
+ *  stopping at the EOF marker or a partial trailing frame. Frame i starts
+ *  at offset i * (1 + payload_size). */
+frame_scan_result scan_scalar_frames( const std::uint8_t *data,
+                                      std::size_t n,
+                                      std::size_t payload_size ) noexcept;
+///@}
+
 /** @name varint / zigzag primitives */
 ///@{
 inline std::uint64_t zigzag_encode( const std::int64_t v ) noexcept

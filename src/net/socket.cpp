@@ -88,6 +88,20 @@ void tcp_connection::send_all( const void *data, const std::size_t n )
     }
 }
 
+std::size_t tcp_connection::recv_some( void *data, const std::size_t n )
+{
+    const auto k = ::recv( fd_, data, n, 0 );
+    if( k == 0 )
+    {
+        return 0; /** clean EOF **/
+    }
+    if( k < 0 )
+    {
+        throw_errno( "recv" );
+    }
+    return static_cast<std::size_t>( k );
+}
+
 bool tcp_connection::recv_all( void *data, const std::size_t n )
 {
     auto *p         = static_cast<char *>( data );

@@ -43,6 +43,12 @@ public:
      *  boundary (0 bytes read so far); throws on mid-message EOF/error. */
     bool recv_all( void *data, std::size_t n );
 
+    /** Receive up to n bytes in a single recv(2): blocks until at least one
+     *  byte arrives, then returns whatever the kernel had buffered (the
+     *  batched TCP source drains frames wholesale this way). Returns 0 on
+     *  clean EOF; throws on error. */
+    std::size_t recv_some( void *data, std::size_t n );
+
     /** Half-close the write side (signals EOF to the peer's reads). */
     void shutdown_write() noexcept;
 

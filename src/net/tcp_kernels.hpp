@@ -28,17 +28,22 @@
 namespace raft::net {
 
 namespace detail {
-inline constexpr std::uint8_t eof_frame = 0xFF;
+inline constexpr std::uint8_t eof_frame = scalar_eof_frame;
 } /** end namespace detail **/
 
 /** Terminal kernel on the sending node: forwards its input stream over a
- *  connected socket. */
+ *  connected socket. Drains its queue through a read window, so a burst of
+ *  elements costs one queue handshake and one send(2) instead of one of
+ *  each per element; the per-element wire format is unchanged. */
 template <class T> class tcp_sink : public kernel
 {
     static_assert( std::is_trivially_copyable_v<T>,
                    "TCP streams carry trivially copyable types" );
 
 public:
+    /** Elements gathered per run() into a single send(2). */
+    static constexpr std::size_t wire_batch = 64;
+
     explicit tcp_sink( tcp_connection conn )
         : tcp_sink( std::make_shared<tcp_connection>(
               std::move( conn ) ) )
@@ -51,15 +56,21 @@ public:
         : kernel(), conn_( std::move( conn ) )
     {
         input.addPort<T>( "0" );
+        wire_.reserve( wire_batch * ( 1 + sizeof( T ) ) );
     }
 
     kstatus run() override
     {
-        T value{};
-        signal sig = none;
+        wire_.clear();
         try
         {
-            input[ "0" ].pop<T>( value, &sig );
+            auto w = input[ "0" ].template pop_s<T>( wire_batch );
+            for( std::size_t i = 0; i < w.size(); ++i )
+            {
+                append_scalar_frame(
+                    wire_, static_cast<std::uint8_t>( w.sig( i ) ),
+                    &w[ i ], sizeof( T ) );
+            }
         }
         catch( const closed_port_exception & )
         {
@@ -68,23 +79,28 @@ public:
             conn_->shutdown_write();
             throw; /** normal completion path **/
         }
-        const auto frame = static_cast<std::uint8_t>( sig );
-        conn_->send_all( &frame, 1 );
-        conn_->send_all( &value, sizeof( T ) );
+        conn_->send_all( wire_.data(), wire_.size() );
         return raft::proceed;
     }
 
 private:
     std::shared_ptr<tcp_connection> conn_;
+    std::vector<std::uint8_t> wire_;
 };
 
-/** Source kernel on the receiving node: replays the remote stream. */
+/** Source kernel on the receiving node: replays the remote stream. Reads
+ *  whatever the kernel socket buffer holds in one recv(2), then publishes
+ *  every complete frame through one write-window claim; partial frames
+ *  carry over to the next run(). */
 template <class T> class tcp_source : public kernel
 {
     static_assert( std::is_trivially_copyable_v<T>,
                    "TCP streams carry trivially copyable types" );
 
 public:
+    /** Frames' worth of buffer offered to each recv(2). */
+    static constexpr std::size_t wire_batch = 64;
+
     explicit tcp_source( tcp_connection conn )
         : tcp_source( std::make_shared<tcp_connection>(
               std::move( conn ) ) )
@@ -95,28 +111,56 @@ public:
         : kernel(), conn_( std::move( conn ) )
     {
         output.addPort<T>( "0" );
+        rx_.reserve( wire_batch * ( 1 + sizeof( T ) ) );
     }
 
     kstatus run() override
     {
-        std::uint8_t frame = 0;
-        if( !conn_->recv_all( &frame, 1 ) ||
-            frame == detail::eof_frame )
+        if( !eof_ )
         {
+            const auto base = rx_.size();
+            rx_.resize( base + wire_batch * ( 1 + sizeof( T ) ) );
+            const auto got =
+                conn_->recv_some( rx_.data() + base, rx_.size() - base );
+            rx_.resize( base + got );
+            if( got == 0 )
+            {
+                eof_ = true; /** peer closed without an EOF frame **/
+            }
+        }
+        const auto scan =
+            scan_scalar_frames( rx_.data(), rx_.size(), sizeof( T ) );
+        eof_ = eof_ || scan.eof;
+        std::size_t emitted = 0;
+        while( emitted < scan.frames )
+        {
+            auto w = output[ "0" ].template allocate_range<T>(
+                scan.frames - emitted );
+            for( std::size_t i = 0; i < w.size(); ++i )
+            {
+                const auto *frame = rx_.data() +
+                    ( emitted + i ) * ( 1 + sizeof( T ) );
+                std::memcpy( &w[ i ], frame + 1, sizeof( T ) );
+                w.set_signal( i, static_cast<signal>( frame[ 0 ] ) );
+            }
+            emitted += w.size();
+        }
+        rx_.erase( rx_.begin(),
+                   rx_.begin() + static_cast<std::ptrdiff_t>(
+                       scan.consumed ) );
+        if( eof_ )
+        {
+            /** every complete frame was emitted; any leftover bytes are a
+             *  truncated trailing frame from a mid-message peer close **/
             return raft::stop;
         }
-        T value{};
-        if( !conn_->recv_all( &value, sizeof( T ) ) )
-        {
-            return raft::stop;
-        }
-        output[ "0" ].push<T>( std::move( value ),
-                               static_cast<signal>( frame ) );
         return raft::proceed;
     }
 
 private:
     std::shared_ptr<tcp_connection> conn_;
+    std::vector<std::uint8_t> rx_;
+    bool eof_{ false };
 };
 
 /**
@@ -148,11 +192,16 @@ public:
 
     kstatus run() override
     {
-        T value{};
-        signal sig = none;
         try
         {
-            input[ "0" ].pop<T>( value, &sig );
+            /** drain a whole window per handshake instead of one pop **/
+            auto w = input[ "0" ].template pop_s<T>(
+                batch_ - values_.size() );
+            for( std::size_t i = 0; i < w.size(); ++i )
+            {
+                values_.push_back( w[ i ] );
+                sigs_.push_back( w.sig( i ) );
+            }
         }
         catch( const closed_port_exception & )
         {
@@ -162,8 +211,6 @@ public:
             conn_.shutdown_write();
             throw;
         }
-        values_.push_back( value );
-        sigs_.push_back( sig );
         if( values_.size() >= batch_ )
         {
             flush();
@@ -237,14 +284,23 @@ public:
         {
             throw net_exception( "compressed frame size mismatch" );
         }
-        for( std::size_t i = 0; i < n; ++i )
+        /** publish the decoded batch through write windows: one queue
+         *  handshake per claimed run instead of one per element **/
+        std::size_t emitted = 0;
+        while( emitted < n )
         {
-            T value{};
-            std::memcpy( &value, raw.data() + i * sizeof( T ),
-                         sizeof( T ) );
-            output[ "0" ].push<T>(
-                std::move( value ),
-                static_cast<signal>( raw[ n * sizeof( T ) + i ] ) );
+            auto w =
+                output[ "0" ].template allocate_range<T>( n - emitted );
+            for( std::size_t i = 0; i < w.size(); ++i )
+            {
+                std::memcpy( &w[ i ],
+                             raw.data() + ( emitted + i ) * sizeof( T ),
+                             sizeof( T ) );
+                w.set_signal(
+                    i, static_cast<signal>(
+                           raw[ n * sizeof( T ) + emitted + i ] ) );
+            }
+            emitted += w.size();
         }
         return raft::proceed;
     }

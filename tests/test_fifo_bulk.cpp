@@ -1,0 +1,325 @@
+/**
+ * Batched FIFO transfer: try_push_n/try_pop_n and the RAII
+ * write_window/read_window claims (DESIGN.md "Batched transfer").
+ * Covers wrap-around, move-only element types, in-band signal
+ * propagation, partial publication, closed-end edges, and correctness
+ * under a concurrent monitor-style resizer.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <core/exceptions.hpp>
+#include <core/ringbuffer.hpp>
+
+namespace {
+
+TEST( fifo_bulk, try_push_n_pop_n_roundtrip_with_wraparound )
+{
+    raft::ring_buffer<std::uint64_t> q( 8 );
+    std::uint64_t next_in  = 0;
+    std::uint64_t next_out = 0;
+    /** batch of 5 against capacity 8: the indices wrap every other call **/
+    for( int round = 0; round < 100; ++round )
+    {
+        std::uint64_t src[ 5 ];
+        for( auto &v : src )
+        {
+            v = next_in++;
+        }
+        ASSERT_EQ( q.try_push_n( src, 5 ), 5u );
+        std::uint64_t dst[ 5 ] = {};
+        ASSERT_EQ( q.try_pop_n( dst, 5 ), 5u );
+        for( const auto v : dst )
+        {
+            ASSERT_EQ( v, next_out++ );
+        }
+    }
+    EXPECT_EQ( q.size(), 0u );
+}
+
+TEST( fifo_bulk, try_push_n_is_partial_when_nearly_full )
+{
+    raft::ring_buffer<int> q( 8 );
+    for( int i = 0; i < 6; ++i )
+    {
+        q.push( i );
+    }
+    int src[ 5 ] = { 10, 11, 12, 13, 14 };
+    EXPECT_EQ( q.try_push_n( src, 5 ), 2u ); /** only 2 slots free **/
+    EXPECT_EQ( q.size(), 8u );
+    int v = -1;
+    for( int i = 0; i < 6; ++i )
+    {
+        q.pop( v );
+        EXPECT_EQ( v, i );
+    }
+    q.pop( v );
+    EXPECT_EQ( v, 10 );
+    q.pop( v );
+    EXPECT_EQ( v, 11 );
+}
+
+TEST( fifo_bulk, try_pop_n_is_partial_when_nearly_empty )
+{
+    raft::ring_buffer<int> q( 8 );
+    int dst[ 4 ] = {};
+    EXPECT_EQ( q.try_pop_n( dst, 4 ), 0u );
+    q.push( 7 );
+    q.push( 8 );
+    EXPECT_EQ( q.try_pop_n( dst, 4 ), 2u );
+    EXPECT_EQ( dst[ 0 ], 7 );
+    EXPECT_EQ( dst[ 1 ], 8 );
+}
+
+TEST( fifo_bulk, windows_carry_data_across_wraparound )
+{
+    raft::ring_buffer<std::uint64_t> q( 8 );
+    /** advance head/tail to 5 so an 8-wide window must wrap **/
+    for( int i = 0; i < 5; ++i )
+    {
+        q.push( 0 );
+        std::uint64_t sink = 0;
+        q.pop( sink );
+    }
+    {
+        auto w = q.write_window( 8 );
+        ASSERT_EQ( w.size(), 8u );
+        for( std::size_t i = 0; i < w.size(); ++i )
+        {
+            w[ i ] = 100 + i;
+        }
+    }
+    EXPECT_EQ( q.size(), 8u );
+    {
+        auto r = q.read_window( 8 );
+        ASSERT_EQ( r.size(), 8u );
+        for( std::size_t i = 0; i < r.size(); ++i )
+        {
+            EXPECT_EQ( r[ i ], 100 + i );
+        }
+    }
+    EXPECT_EQ( q.size(), 0u );
+}
+
+TEST( fifo_bulk, move_only_elements_through_bulk_paths )
+{
+    raft::ring_buffer<std::unique_ptr<int>> q( 8 );
+    std::unique_ptr<int> src[ 4 ];
+    for( int i = 0; i < 4; ++i )
+    {
+        src[ i ] = std::make_unique<int>( i );
+    }
+    ASSERT_EQ( q.try_push_n( src, 4 ), 4u );
+    for( const auto &p : src )
+    {
+        EXPECT_EQ( p, nullptr ); /** moved out of the source array **/
+    }
+    std::unique_ptr<int> dst[ 4 ];
+    ASSERT_EQ( q.try_pop_n( dst, 4 ), 4u );
+    for( int i = 0; i < 4; ++i )
+    {
+        ASSERT_NE( dst[ i ], nullptr );
+        EXPECT_EQ( *dst[ i ], i );
+    }
+
+    /** windows: write in place, move out of the read window **/
+    {
+        auto w = q.write_window( 3 );
+        ASSERT_EQ( w.size(), 3u );
+        for( std::size_t i = 0; i < w.size(); ++i )
+        {
+            w[ i ] = std::make_unique<int>( 40 + static_cast<int>( i ) );
+        }
+    }
+    {
+        auto r = q.read_window( 3 );
+        ASSERT_EQ( r.size(), 3u );
+        for( std::size_t i = 0; i < r.size(); ++i )
+        {
+            auto p = std::move( r[ i ] );
+            EXPECT_EQ( *p, 40 + static_cast<int>( i ) );
+        }
+    }
+    EXPECT_EQ( q.size(), 0u );
+}
+
+TEST( fifo_bulk, signals_travel_with_their_elements )
+{
+    raft::ring_buffer<int> q( 16 );
+    int src[ 3 ]                = { 1, 2, 3 };
+    const raft::signal sigs[ 3 ] = { raft::none, raft::sos, raft::eos };
+    ASSERT_EQ( q.try_push_n( src, 3, sigs ), 3u );
+    int dst[ 3 ]          = {};
+    raft::signal out[ 3 ] = {};
+    ASSERT_EQ( q.try_pop_n( dst, 3, out ), 3u );
+    EXPECT_EQ( out[ 0 ], raft::none );
+    EXPECT_EQ( out[ 1 ], raft::sos );
+    EXPECT_EQ( out[ 2 ], raft::eos );
+
+    /** window route: set_signal on a slot, read back via sig(i) **/
+    {
+        auto w = q.write_window( 4 );
+        ASSERT_EQ( w.size(), 4u );
+        for( std::size_t i = 0; i < w.size(); ++i )
+        {
+            w[ i ] = static_cast<int>( i );
+        }
+        w.set_signal( raft::eos ); /** marks the last published slot **/
+    }
+    {
+        auto r = q.read_window( 4 );
+        ASSERT_EQ( r.size(), 4u );
+        EXPECT_EQ( r.sig( 0 ), raft::none );
+        EXPECT_EQ( r.sig( 3 ), raft::eos );
+    }
+}
+
+TEST( fifo_bulk, partial_publish_and_partial_consume )
+{
+    raft::ring_buffer<int> q( 16 );
+    {
+        auto w = q.write_window( 6 );
+        ASSERT_EQ( w.size(), 6u );
+        for( std::size_t i = 0; i < 3; ++i )
+        {
+            w[ i ] = static_cast<int>( i );
+        }
+        w.publish( 3 ); /** hand back the other 3 slots **/
+    }
+    EXPECT_EQ( q.size(), 3u );
+    {
+        auto r = q.read_window( 3 );
+        ASSERT_EQ( r.size(), 3u );
+        EXPECT_EQ( r[ 0 ], 0 );
+        r.consume( 1 ); /** leave 2 elements queued **/
+    }
+    EXPECT_EQ( q.size(), 2u );
+    int v = -1;
+    q.pop( v );
+    EXPECT_EQ( v, 1 );
+    q.pop( v );
+    EXPECT_EQ( v, 2 );
+}
+
+TEST( fifo_bulk, read_window_throws_once_writer_closes_and_drains )
+{
+    raft::ring_buffer<int> q( 8 );
+    q.push( 5 );
+    q.close_write();
+    {
+        auto r = q.read_window( 8 ); /** residual data still readable **/
+        ASSERT_EQ( r.size(), 1u );
+        EXPECT_EQ( r[ 0 ], 5 );
+    }
+    EXPECT_THROW( (void) q.read_window( 1 ),
+                  raft::closed_port_exception );
+    int dst[ 2 ] = {};
+    EXPECT_EQ( q.try_pop_n( dst, 2 ), 0u ); /** non-throwing variant **/
+}
+
+TEST( fifo_bulk, write_paths_throw_once_reader_closes )
+{
+    raft::ring_buffer<int> q( 8 );
+    q.close_read();
+    int src[ 2 ] = { 1, 2 };
+    EXPECT_THROW( (void) q.try_push_n( src, 2 ),
+                  raft::closed_port_exception );
+    EXPECT_THROW( (void) q.write_window( 2 ),
+                  raft::closed_port_exception );
+}
+
+TEST( fifo_bulk, bulk_traffic_survives_concurrent_monitor_resizes )
+{
+    constexpr std::uint64_t items = 200'000;
+    raft::ring_buffer<std::uint64_t> q( 64 );
+    std::atomic<bool> done{ false };
+
+    std::thread monitor( [ & ]() {
+        std::size_t cap = 64;
+        while( !done.load( std::memory_order_acquire ) )
+        {
+            cap = ( cap == 64 ) ? 256 : 64;
+            q.resize( cap );
+            std::this_thread::yield();
+        }
+    } );
+
+    std::thread producer( [ & ]() {
+        std::uint64_t i = 0;
+        while( i < items )
+        {
+            auto w = q.write_window(
+                std::min<std::uint64_t>( 32, items - i ) );
+            for( std::size_t j = 0; j < w.size(); ++j )
+            {
+                w[ j ] = i++;
+            }
+        }
+        q.close_write();
+    } );
+
+    std::uint64_t expect = 0;
+    try
+    {
+        for( ;; )
+        {
+            auto r = q.read_window( 32 );
+            for( std::size_t j = 0; j < r.size(); ++j )
+            {
+                ASSERT_EQ( r[ j ], expect++ );
+            }
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    done.store( true, std::memory_order_release );
+    producer.join();
+    monitor.join();
+    EXPECT_EQ( expect, items );
+    EXPECT_GE( q.resize_count(), 1u );
+}
+
+TEST( fifo_bulk, static_stream_fast_path_roundtrip )
+{
+    /** set_auto_resize(false) takes the Dekker-free fast path; traffic
+     *  must still be exact (no resizer may run in this mode) **/
+    constexpr std::uint64_t items = 100'000;
+    raft::ring_buffer<std::uint64_t> q( 128 );
+    q.set_auto_resize( false );
+    std::thread producer( [ & ]() {
+        std::uint64_t src[ 16 ];
+        std::uint64_t i = 0;
+        while( i < items )
+        {
+            const auto n =
+                std::min<std::uint64_t>( 16, items - i );
+            for( std::uint64_t j = 0; j < n; ++j )
+            {
+                src[ j ] = i + j;
+            }
+            i += q.try_push_n( src, n );
+        }
+        q.close_write();
+    } );
+    std::uint64_t expect = 0;
+    std::uint64_t dst[ 16 ];
+    while( expect < items )
+    {
+        const auto n = q.try_pop_n( dst, 16 );
+        for( std::size_t j = 0; j < n; ++j )
+        {
+            ASSERT_EQ( dst[ j ], expect++ );
+        }
+    }
+    producer.join();
+    EXPECT_EQ( expect, items );
+}
+
+} /** end anonymous namespace **/

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -263,4 +264,56 @@ TEST( fifo_concurrency, demand_driven_growth_via_external_monitor )
     producer.join();
     monitorish.join();
     EXPECT_GE( q.capacity(), 32u );
+}
+
+TEST( fifo_concurrency, batched_producer_scalar_consumer_stress )
+{
+    /** windows on the producer side, one-element pops on the consumer
+     *  side, a monitor-like thread resizing throughout: exercises the
+     *  mixed scalar/batched handshake plus shadow-cache re-seeding **/
+    constexpr std::uint64_t items = 150'000;
+    ring_buffer<std::uint64_t> q( 32 );
+    std::atomic<bool> done{ false };
+
+    std::thread resizer( [ & ]() {
+        std::size_t cap = 32;
+        while( !done.load( std::memory_order_acquire ) )
+        {
+            cap = ( cap == 32 ) ? 128 : 32;
+            q.resize( cap );
+            std::this_thread::yield();
+        }
+    } );
+
+    std::thread producer( [ & ]() {
+        std::uint64_t i = 0;
+        while( i < items )
+        {
+            auto w = q.write_window(
+                std::min<std::uint64_t>( 24, items - i ) );
+            for( std::size_t j = 0; j < w.size(); ++j )
+            {
+                w[ j ] = i++;
+            }
+        }
+        q.close_write();
+    } );
+
+    std::uint64_t expect = 0;
+    try
+    {
+        for( ;; )
+        {
+            std::uint64_t v = 0;
+            q.pop( v );
+            ASSERT_EQ( v, expect++ );
+        }
+    }
+    catch( const raft::closed_port_exception & )
+    {
+    }
+    done.store( true, std::memory_order_release );
+    producer.join();
+    resizer.join();
+    EXPECT_EQ( expect, items );
 }
