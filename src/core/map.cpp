@@ -8,6 +8,7 @@
 #include "core/parallel.hpp"
 #include "core/scheduler.hpp"
 #include "mapping/partition.hpp"
+#include "runtime/elastic/elastic.hpp"
 
 namespace raft {
 
@@ -112,12 +113,31 @@ void map::exe( const run_options &opts )
                                 : mapping::machine_desc::detect();
 
     /** 2. automatic parallelization **/
+    const bool elastic_on = opts.elastic.enabled;
+    std::vector<replica_group> replica_groups;
     if( opts.enable_auto_parallel )
     {
-        const auto width = opts.replication_width != 0
-                               ? opts.replication_width
-                               : machine.core_count();
-        apply_auto_parallel( topo_, width, opts.split_strategy, owned_ );
+        auto width = opts.replication_width != 0 ? opts.replication_width
+                                                 : machine.core_count();
+        std::size_t initial_active = 0; /** 0 = route to all lanes **/
+        if( elastic_on )
+        {
+            /** pre-provision max_replicas lanes, start at min_replicas;
+             *  the controller activates/retires lanes in between **/
+            if( opts.elastic.max_replicas != 0 )
+            {
+                width = opts.elastic.max_replicas;
+            }
+            initial_active =
+                opts.elastic.min_replicas == 0
+                    ? 1
+                    : ( opts.elastic.min_replicas > width
+                            ? width
+                            : opts.elastic.min_replicas );
+        }
+        apply_auto_parallel( topo_, width, opts.split_strategy, owned_,
+                             initial_active,
+                             elastic_on ? &replica_groups : nullptr );
     }
 
     /** 3. type checking + conversion adapters **/
@@ -157,7 +177,15 @@ void map::exe( const run_options &opts )
         }
     }
 
-    /** 4. stream allocation & port binding **/
+    /** 4. stream allocation & port binding.
+     *  Declaration order matters: the controller must outlive the monitor
+     *  (whose thread calls into it), so it is declared first — destroyed
+     *  last. **/
+    std::unique_ptr<elastic::controller> ctrl;
+    if( elastic_on )
+    {
+        ctrl = std::make_unique<elastic::controller>( opts );
+    }
     std::vector<std::unique_ptr<fifo_base>> streams;
     streams.reserve( topo_.edges().size() );
     monitor mon( opts );
@@ -174,7 +202,22 @@ void map::exe( const run_options &opts )
             monitor::stream_info{ e.src->name(), e.dst->name(),
                                   e.src_port, e.dst_port,
                                   out_p.meta().name } );
+        if( ctrl != nullptr )
+        {
+            ctrl->watch_stream( stream.get(), e.src->name(),
+                                e.dst->name() );
+        }
         streams.push_back( std::move( stream ) );
+    }
+    if( ctrl != nullptr )
+    {
+        /** ports are bound now — the controller can resolve the split
+         *  adapters' input/lane streams **/
+        for( const auto &g : replica_groups )
+        {
+            ctrl->add_group( g );
+        }
+        mon.attach_elastic( ctrl.get() );
     }
 
     /** 5. mapping **/
@@ -204,6 +247,10 @@ void map::exe( const run_options &opts )
     mon.stop();
 
     /** 7. statistics & teardown **/
+    if( ctrl != nullptr && opts.elastic.report_out != nullptr )
+    {
+        *opts.elastic.report_out = ctrl->report();
+    }
     if( opts.stats_out != nullptr )
     {
         const double wall =

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/defs.hpp"
+#include "runtime/elastic/elastic.hpp"
 
 namespace raft {
 
@@ -29,7 +30,8 @@ void monitor::start()
     {
         return;
     }
-    if( !opts_.dynamic_resize && !opts_.collect_stats )
+    if( !opts_.dynamic_resize && !opts_.collect_stats &&
+        elastic_ == nullptr )
     {
         running_.store( false );
         return; /** nothing to do — zero overhead **/
@@ -73,11 +75,16 @@ void monitor::tick()
 
         if( opts_.collect_stats )
         {
+            /** size() and capacity() are two separate loads; a racing
+             *  resize between them can yield sz > cap (or a stale cap),
+             *  so clamp before accumulating — the histogram clamps
+             *  internally as well **/
+            const auto occ = cap != 0 && sz > cap ? cap : sz;
             const double util =
                 cap == 0 ? 0.0
-                         : static_cast<double>( sz ) /
+                         : static_cast<double>( occ ) /
                                static_cast<double>( cap );
-            e.occupancy_sum += static_cast<double>( sz );
+            e.occupancy_sum += static_cast<double>( occ );
             e.utilization_sum += util;
             e.hist.add( util );
             ++e.samples;
@@ -131,6 +138,11 @@ void monitor::tick()
         {
             e.low_util_streak = 0;
         }
+    }
+
+    if( elastic_ != nullptr )
+    {
+        elastic_->on_tick( now );
     }
 }
 

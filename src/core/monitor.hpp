@@ -27,6 +27,10 @@
 
 namespace raft {
 
+namespace elastic {
+class controller;
+} /** end namespace elastic **/
+
 class monitor
 {
 public:
@@ -49,6 +53,16 @@ public:
     /** Register before start(); enables reader-overflow growth on f when
      *  dynamic resizing is configured. */
     void register_stream( fifo_base *f, stream_info info );
+
+    /** Attach the elastic controller (runtime/elastic/) before start();
+     *  its on_tick() runs at the end of every monitor tick, on the monitor
+     *  thread, so elastic actuation never races the monitor's resizes. The
+     *  controller must outlive the monitor's running thread (declare it
+     *  first / stop() the monitor before destroying it). */
+    void attach_elastic( elastic::controller *ctrl ) noexcept
+    {
+        elastic_ = ctrl;
+    }
 
     void start();
     void stop();
@@ -87,6 +101,7 @@ private:
     std::atomic<bool> running_{ false };
     std::atomic<std::uint64_t> ticks_{ 0 };
     std::int64_t delta_ns_{ 10'000 };
+    elastic::controller *elastic_{ nullptr };
 };
 
 } /** end namespace raft **/

@@ -32,6 +32,71 @@ enum class split_kind
                         less utilized servers" (§4.1) */
 };
 
+/**
+ * Elastic runtime (runtime/elastic/): a closed-loop controller on the
+ * monitor thread that estimates per-kernel arrival and non-blocking service
+ * rates online (EWMA over monitor δ ticks, busy-period-corrected in the
+ * style of Beard & Chamberlain's run-time service-rate approximation),
+ * classifies bottleneck/underutilized kernels against the M/M/1 flow
+ * models, and actuates live: activating/retiring replicas through the
+ * split/reduce adapters, predictively growing FIFOs ahead of the monitor's
+ * reactive 3δ-blocked trigger, and retuning the split strategy from
+ * observed lane skew. Off by default — with enabled == false nothing in
+ * the runtime changes.
+ */
+struct elastic_options
+{
+    bool enabled{ false };
+
+    /** @name replica bounds (per clonable kernel on raft::out links) */
+    ///@{
+    std::size_t min_replicas{ 1 };
+    /** Lane ceiling; the rewrite pre-provisions this many replicas and the
+     *  controller activates between min and max. 0 = one per core. */
+    std::size_t max_replicas{ 0 };
+    ///@}
+
+    /** @name control loop */
+    ///@{
+    /** Policy evaluation period (≥ the monitor δ; estimates aggregate
+     *  monitor-tick samples in between). */
+    std::chrono::nanoseconds control_period{
+        std::chrono::microseconds( 500 ) };
+    /** Consecutive agreeing control windows before actuation. */
+    std::size_t hysteresis{ 3 };
+    /** EWMA smoothing factor for the online rate estimates, in (0,1];
+     *  higher tracks faster, lower smooths more. */
+    double ewma_alpha{ 0.4 };
+    ///@}
+
+    /** @name policy thresholds */
+    ///@{
+    /** Utilization above which a kernel is classified bottleneck. */
+    double high_utilization{ 0.85 };
+    /** Utilization below which (recomputed at active-1 replicas) a
+     *  replica is retired. */
+    double low_utilization{ 0.45 };
+    /** Split-input occupancy fraction treated as bottleneck evidence even
+     *  when the rate estimates disagree (backpressure signal). */
+    double pressure_threshold{ 0.75 };
+    /** Coefficient of variation across active lane occupancies above
+     *  which a strict round-robin split is retuned to least-utilized. */
+    double skew_threshold{ 0.5 };
+    ///@}
+
+    /** @name actuators */
+    ///@{
+    /** Grow FIFOs predicted (M/M/1) to exceed capacity before the writer
+     *  ever blocks 3δ. Requires dynamic_resize. */
+    bool predictive_resize{ true };
+    /** Allow the controller to swap split strategies mid-run. */
+    bool retune_split{ true };
+    ///@}
+
+    /** Filled with the controller's trajectory at teardown when non-null. */
+    runtime::elastic_report *report_out{ nullptr };
+};
+
 struct run_options
 {
     /** @name stream allocation */
@@ -76,6 +141,11 @@ struct run_options
     bool collect_stats{ true };
     /** Filled with the run's statistics at teardown when non-null. */
     runtime::perf_snapshot *stats_out{ nullptr };
+    ///@}
+
+    /** @name elastic runtime (online bottleneck adaptation) */
+    ///@{
+    elastic_options elastic{};
     ///@}
 };
 

@@ -21,8 +21,12 @@ constexpr std::size_t adapter_burst = 64;
 
 split_kernel::split_kernel( const detail::type_meta &meta,
                             const std::size_t width,
-                            std::unique_ptr<split_strategy> strategy )
-    : width_( width ), strategy_( std::move( strategy ) )
+                            std::unique_ptr<split_strategy> strategy,
+                            const std::size_t initial_active )
+    : width_( width ), strategy_( std::move( strategy ) ),
+      active_( initial_active == 0 || initial_active > width
+                   ? width
+                   : initial_active )
 {
     input.add_with_meta( "0", meta );
     for( std::size_t i = 0; i < width_; ++i )
@@ -42,6 +46,36 @@ std::vector<fifo_base *> &split_kernel::cached_outputs()
         }
     }
     return outs_cache_;
+}
+
+std::vector<fifo_base *> &split_kernel::routable_outputs()
+{
+    auto &outs = cached_outputs();
+
+    /** apply a pending strategy swap (single consumer: this thread) **/
+    const auto req =
+        requested_strategy_.exchange( -1, std::memory_order_acq_rel );
+    if( req >= 0 )
+    {
+        strategy_ = make_split_strategy( static_cast<split_kind>( req ) );
+        pending_choice_.reset(); /** choices don't survive the old deal **/
+    }
+
+    const auto n = active_.load( std::memory_order_acquire );
+    if( n >= width_ )
+    {
+        cached_active_ = width_;
+        return outs;
+    }
+    if( n != cached_active_ )
+    {
+        active_cache_.assign( outs.begin(),
+                              outs.begin() +
+                                  static_cast<std::ptrdiff_t>( n ) );
+        cached_active_ = n;
+        pending_choice_.reset(); /** may point past the new lane set **/
+    }
+    return active_cache_;
 }
 
 std::size_t split_kernel::route( fifo_base &in,
@@ -106,10 +140,10 @@ std::size_t split_kernel::route( fifo_base &in,
 kstatus split_kernel::run()
 {
     fifo_base &in = input[ "0" ].raw();
-    auto &outs    = cached_outputs();
+    auto &outs    = routable_outputs();
 
     bool all_closed = true;
-    for( const auto *o : outs )
+    for( const auto *o : cached_outputs() )
     {
         if( !o->read_closed() )
         {
@@ -294,7 +328,9 @@ std::size_t apply_auto_parallel(
     topology &topo,
     const std::size_t width,
     const split_kind strategy,
-    std::vector<std::unique_ptr<kernel>> &owned )
+    std::vector<std::unique_ptr<kernel>> &owned,
+    const std::size_t initial_active,
+    std::vector<replica_group> *groups )
 {
     if( width <= 1 )
     {
@@ -349,6 +385,10 @@ std::size_t apply_auto_parallel(
             continue;
         }
 
+        replica_group group;
+        group.kernel_name = k->name();
+        group.replicas    = replicas;
+
         /** rebuild the edge list around k **/
         std::vector<edge> rebuilt;
         for( const auto &e : topo.edges() )
@@ -357,8 +397,10 @@ std::size_t apply_auto_parallel(
             {
                 const auto &meta = e.src->output[ e.src_port ].meta();
                 auto *sp         = new split_kernel(
-                    meta, w, make_split_strategy( strategy ) );
+                    meta, w, make_split_strategy( strategy ),
+                    initial_active );
                 owned.emplace_back( sp );
+                group.splits.push_back( sp );
                 rebuilt.push_back(
                     edge{ e.src, e.src_port, sp, "0", e.ord } );
                 for( std::size_t i = 0; i < w; ++i )
@@ -373,6 +415,7 @@ std::size_t apply_auto_parallel(
                 const auto &meta = k->output[ e.src_port ].meta();
                 auto *rd         = new reduce_kernel( meta, w );
                 owned.emplace_back( rd );
+                group.reduces.push_back( rd );
                 for( std::size_t i = 0; i < w; ++i )
                 {
                     rebuilt.push_back( edge{ replicas[ i ], e.src_port,
@@ -393,6 +436,10 @@ std::size_t apply_auto_parallel(
             fresh.add_edge( e );
         }
         topo = std::move( fresh );
+        if( groups != nullptr )
+        {
+            groups->push_back( std::move( group ) );
+        }
         ++replicated;
     }
     return replicated;

@@ -67,12 +67,32 @@ private:
     std::size_t next_{ 0 };
 };
 
-/** Direct flow to the replica whose queue is least utilized right now. */
+/**
+ * Direct flow to the replica whose queue is least utilized right now.
+ *
+ * The utilization scan costs two loads per output; re-ranking on every
+ * element would make the split adapter's cost grow with the replica count.
+ * The choice is therefore cached and reused for `stride` consecutive
+ * elements before the next rescan — occupancies move by at most stride
+ * elements in between, so the ranking stays near-correct, and the adapter
+ * falls back to neighbouring streams anyway when the cached one fills
+ * (non-strict routing). stride = 1 restores exact per-element ranking.
+ */
 class least_utilized_strategy final : public split_strategy
 {
 public:
+    explicit least_utilized_strategy( const std::size_t stride = 16 )
+        : stride_( stride == 0 ? 1 : stride )
+    {
+    }
+
     std::size_t choose( const std::vector<fifo_base *> &outputs ) override
     {
+        if( reuse_ > 0 && cached_ < outputs.size() )
+        {
+            --reuse_;
+            return cached_;
+        }
         std::size_t best    = 0;
         double best_util    = 2.0; /** above any real utilization **/
         for( std::size_t i = 0; i < outputs.size(); ++i )
@@ -88,10 +108,17 @@ public:
                 best      = i;
             }
         }
+        cached_ = best;
+        reuse_  = stride_ - 1;
         return best;
     }
 
     const char *name() const override { return "least-utilized"; }
+
+private:
+    std::size_t stride_;
+    std::size_t cached_{ 0 };
+    std::size_t reuse_{ 0 };
 };
 
 inline std::unique_ptr<split_strategy>

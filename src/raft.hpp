@@ -41,4 +41,7 @@
 #include "core/kernels/synonym.hpp"
 #include "core/kernels/write_each.hpp"
 
+#include "runtime/elastic/elastic.hpp"
+#include "runtime/elastic/estimator.hpp"
+#include "runtime/elastic/policy.hpp"
 #include "runtime/stats.hpp"

@@ -1,0 +1,302 @@
+#include "runtime/elastic/elastic.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace raft::elastic {
+
+namespace {
+
+policy_config make_policy_config( const elastic_options &cfg,
+                                  const std::size_t min_active,
+                                  const std::size_t max_active )
+{
+    policy_config p;
+    p.high_utilization   = cfg.high_utilization;
+    p.low_utilization    = cfg.low_utilization;
+    p.pressure_threshold = cfg.pressure_threshold;
+    p.skew_threshold     = cfg.skew_threshold;
+    p.hysteresis         = cfg.hysteresis == 0 ? 1 : cfg.hysteresis;
+    p.min_active         = min_active;
+    p.max_active         = max_active;
+    return p;
+}
+
+/** Coefficient of variation of the active lanes' mean occupancy
+ *  fractions; 0 when the lanes are essentially empty (no skew signal in
+ *  starvation). */
+double lane_skew( const std::vector<double> &occ )
+{
+    if( occ.size() < 2 )
+    {
+        return 0.0;
+    }
+    double mean = 0.0;
+    for( const auto v : occ )
+    {
+        mean += v;
+    }
+    mean /= static_cast<double>( occ.size() );
+    if( mean < 0.02 )
+    {
+        return 0.0;
+    }
+    double var = 0.0;
+    for( const auto v : occ )
+    {
+        var += ( v - mean ) * ( v - mean );
+    }
+    var /= static_cast<double>( occ.size() );
+    return std::sqrt( var ) / mean;
+}
+
+} /** end anonymous namespace **/
+
+controller::controller( const run_options &opts )
+    : cfg_( opts.elastic ), dynamic_resize_( opts.dynamic_resize ),
+      max_queue_capacity_( opts.max_queue_capacity )
+{
+    period_ns_ = cfg_.control_period.count();
+    const auto delta = opts.monitor_delta.count();
+    if( period_ns_ < delta )
+    {
+        period_ns_ = delta; /** can't control faster than we sample **/
+    }
+    if( cfg_.ewma_alpha <= 0.0 || cfg_.ewma_alpha > 1.0 )
+    {
+        cfg_.ewma_alpha = 0.4;
+    }
+}
+
+void controller::add_group( const replica_group &g )
+{
+    if( g.splits.empty() )
+    {
+        return; /** nothing to actuate without a split adapter **/
+    }
+    group_state gs{ g.kernel_name,
+                    g.splits,
+                    /*active*/ 1,
+                    /*min*/ 1,
+                    /*max*/ 1,
+                    /*input*/ nullptr,
+                    rate_estimator( cfg_.ewma_alpha ),
+                    {},
+                    replica_policy( policy_config{} ),
+                    strategy_policy( policy_config{} ),
+                    /*strict*/ false,
+                    {} };
+
+    split_kernel *first = g.splits.front();
+    gs.max_active       = first->width();
+    gs.min_active       = cfg_.min_replicas == 0 ? 1 : cfg_.min_replicas;
+    if( gs.min_active > gs.max_active )
+    {
+        gs.min_active = gs.max_active;
+    }
+    gs.active = first->active();
+
+    const auto pcfg =
+        make_policy_config( cfg_, gs.min_active, gs.max_active );
+    gs.policy         = replica_policy( pcfg );
+    gs.strategy       = strategy_policy( pcfg );
+    gs.strict_routing = first->strategy_strict();
+
+    gs.input = &first->input[ "0" ].raw();
+    gs.lanes.reserve( first->width() );
+    for( std::size_t i = 0; i < first->width(); ++i )
+    {
+        gs.lanes.push_back(
+            lane_state{ &first->output[ std::to_string( i ) ].raw(),
+                        rate_estimator( cfg_.ewma_alpha ) } );
+    }
+
+    gs.rep.kernel_name = g.kernel_name;
+    gs.rep.min_active  = gs.min_active;
+    gs.rep.max_active  = gs.max_active;
+    gs.rep.peak_active = gs.active;
+    groups_.push_back( std::move( gs ) );
+}
+
+void controller::watch_stream( fifo_base *f, std::string src_kernel,
+                               std::string dst_kernel )
+{
+    streams_.push_back( stream_state{ f, std::move( src_kernel ),
+                                      std::move( dst_kernel ),
+                                      rate_estimator( cfg_.ewma_alpha ),
+                                      0 } );
+}
+
+void controller::on_tick( const std::int64_t now_ns )
+{
+    /** δ-tick occupancy probes (one size/capacity load pair each) **/
+    for( auto &g : groups_ )
+    {
+        g.input_est.tick( g.input->size(), g.input->capacity() );
+        for( auto &l : g.lanes )
+        {
+            l.est.tick( l.f->size(), l.f->capacity() );
+        }
+    }
+    if( ++probe_phase_ >= stream_probe_stride )
+    {
+        probe_phase_ = 0;
+        for( auto &s : streams_ )
+        {
+            s.est.tick( s.f->size(), s.f->capacity() );
+        }
+    }
+
+    if( last_control_ns_ == 0 )
+    {
+        last_control_ns_ = now_ns;
+        return;
+    }
+    if( now_ns - last_control_ns_ < period_ns_ )
+    {
+        return;
+    }
+    const auto dt_s =
+        static_cast<double>( now_ns - last_control_ns_ ) / 1e9;
+    last_control_ns_ = now_ns;
+    control_window( dt_s );
+}
+
+void controller::control_window( const double dt_s )
+{
+    ++control_ticks_;
+    for( auto &g : groups_ )
+    {
+        control_group( g, dt_s );
+    }
+
+    /** predictive FIFO sizing over every watched stream **/
+    for( auto &s : streams_ )
+    {
+        s.est.window( s.f->total_pushed(), s.f->total_popped(), dt_s );
+        if( !cfg_.predictive_resize || !dynamic_resize_ )
+        {
+            continue;
+        }
+        if( s.cooldown > 0 )
+        {
+            --s.cooldown;
+            continue;
+        }
+        if( s.est.windows() < 2 )
+        {
+            continue; /** estimates still warming up **/
+        }
+        const auto want = predict_capacity(
+            s.est.arrival_hz(), s.est.service_hz(),
+            s.est.mean_occupancy_fraction(), s.f->capacity(),
+            max_queue_capacity_ );
+        if( want != 0 && s.f->resize( want ) )
+        {
+            ++predictive_resizes_;
+            s.cooldown = 4; /** let the new capacity show effect **/
+        }
+    }
+}
+
+void controller::control_group( group_state &g, const double dt_s )
+{
+    g.input_est.window( g.input->total_pushed(),
+                        g.input->total_popped(), dt_s );
+    for( auto &l : g.lanes )
+    {
+        l.est.window( l.f->total_pushed(), l.f->total_popped(), dt_s );
+    }
+
+    /** aggregate the per-replica non-blocking service rate over lanes
+     *  with a warmed-up estimate **/
+    double mu_sum   = 0.0;
+    std::size_t mun = 0;
+    for( const auto &l : g.lanes )
+    {
+        if( l.est.service_valid() )
+        {
+            mu_sum += l.est.service_hz();
+            ++mun;
+        }
+    }
+
+    group_estimate e;
+    e.lambda         = g.input_est.arrival_hz();
+    e.mu             = mun == 0 ? 0.0
+                                : mu_sum / static_cast<double>( mun );
+    e.input_pressure = g.input_est.mean_occupancy_fraction();
+    e.active         = g.active;
+    e.rates_valid    = g.input_est.arrival_valid() && mun > 0 &&
+                       g.input_est.windows() >= 2;
+
+    std::vector<double> occ;
+    occ.reserve( g.active );
+    for( std::size_t i = 0; i < g.active && i < g.lanes.size(); ++i )
+    {
+        occ.push_back( g.lanes[ i ].est.mean_occupancy_fraction() );
+    }
+    e.lane_skew = lane_skew( occ );
+
+    const auto delta = g.policy.decide( e );
+    if( delta != 0 )
+    {
+        g.active = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>( g.active ) + delta );
+        for( auto *sp : g.splits )
+        {
+            sp->set_active( g.active );
+        }
+        if( delta > 0 )
+        {
+            ++g.rep.grows;
+        }
+        else
+        {
+            ++g.rep.shrinks;
+        }
+        if( g.active > g.rep.peak_active )
+        {
+            g.rep.peak_active = g.active;
+        }
+    }
+
+    if( cfg_.retune_split && g.strict_routing &&
+        g.strategy.want_least_utilized( e ) )
+    {
+        for( auto *sp : g.splits )
+        {
+            sp->request_strategy( split_kind::least_utilized );
+        }
+        g.strict_routing = false;
+        ++g.rep.strategy_switches;
+    }
+
+    g.rep.lambda_hz = e.lambda;
+    g.rep.mu_hz     = e.mu;
+    g.rep.rho       = g.policy.utilization( e );
+    if( e.rates_valid )
+    {
+        const auto md = g.policy.model_desired( e.lambda, e.mu );
+        if( md > g.rep.model_desired )
+        {
+            g.rep.model_desired = md;
+        }
+    }
+}
+
+runtime::elastic_report controller::report() const
+{
+    runtime::elastic_report r;
+    r.control_ticks      = control_ticks_;
+    r.predictive_resizes = predictive_resizes_;
+    for( const auto &g : groups_ )
+    {
+        auto rep         = g.rep;
+        rep.final_active = g.active;
+        r.groups.push_back( std::move( rep ) );
+    }
+    return r;
+}
+
+} /** end namespace raft::elastic **/

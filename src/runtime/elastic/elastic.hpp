@@ -1,0 +1,127 @@
+/**
+ * elastic.hpp — the elastic runtime controller (runtime/elastic/).
+ *
+ * A closed-loop adaptive controller that rides the monitor thread: the
+ * monitor calls on_tick() once per δ; the controller takes one cheap
+ * occupancy probe per watched stream per tick and, every control period,
+ * closes an estimation window (estimator.hpp), evaluates the policies
+ * (policy.hpp) and actuates:
+ *
+ *   - replica elasticity — activating/retiring replica lanes of
+ *     pre-provisioned split/reduce groups (core/parallel.hpp) via
+ *     split_kernel::set_active(); retirement is a quiesce: routing stops,
+ *     the lane drains through its still-live replica, nothing is lost;
+ *   - predictive FIFO sizing — growing streams the M/M/1 model predicts
+ *     will crowd out, ahead of the monitor's reactive 3δ-blocked rule;
+ *   - split-strategy retune — swapping strict round-robin dealing for
+ *     least-utilized routing when sustained lane skew is observed.
+ *
+ * Everything runs on the monitor thread, so actuation (atomic stores into
+ * the split adapters, resize() calls) never races the monitor's own
+ * resizes. The controller is constructed, wired and torn down by
+ * map::exe() when run_options::elastic.enabled is set; with the flag off
+ * none of this code is reachable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/parallel.hpp"
+#include "runtime/elastic/estimator.hpp"
+#include "runtime/elastic/policy.hpp"
+#include "runtime/stats.hpp"
+
+namespace raft::elastic {
+
+class controller
+{
+public:
+    explicit controller( const run_options &opts );
+
+    controller( const controller & )            = delete;
+    controller &operator=( const controller & ) = delete;
+
+    /** @name registration (map::exe, before the monitor starts) */
+    ///@{
+    /** Register a replicated kernel's adapters; the split/reduce ports
+     *  must already be bound to streams. Groups without a split adapter
+     *  are ignored (nothing to actuate). */
+    void add_group( const replica_group &g );
+
+    /** Watch one stream for predictive resizing. */
+    void watch_stream( fifo_base *f, std::string src_kernel,
+                       std::string dst_kernel );
+    ///@}
+
+    /** Monitor-thread hook: one δ tick. Samples every watched stream and,
+     *  once per control period, runs estimate → policy → actuate. */
+    void on_tick( std::int64_t now_ns );
+
+    /** Trajectory summary; call after the monitor stopped. */
+    runtime::elastic_report report() const;
+
+    std::size_t group_count() const noexcept { return groups_.size(); }
+
+private:
+    struct lane_state
+    {
+        fifo_base *f{ nullptr };
+        rate_estimator est;
+    };
+
+    struct group_state
+    {
+        std::string name;
+        std::vector<split_kernel *> splits;
+        std::size_t active{ 1 };
+        std::size_t min_active{ 1 };
+        std::size_t max_active{ 1 };
+
+        fifo_base *input{ nullptr }; /**< stream feeding the first split */
+        rate_estimator input_est;
+        std::vector<lane_state> lanes; /**< first split's output streams  */
+
+        replica_policy policy;
+        strategy_policy strategy;
+        bool strict_routing{ false }; /**< current strategy is strict RR  */
+
+        runtime::elastic_group_report rep;
+    };
+
+    struct stream_state
+    {
+        fifo_base *f{ nullptr };
+        std::string src;
+        std::string dst;
+        rate_estimator est;
+        std::uint64_t cooldown{ 0 }; /**< windows until next resize try  */
+    };
+
+    void control_window( double dt_s );
+    void control_group( group_state &g, double dt_s );
+
+    /** Watched (non-group) streams only feed the predictive-resize
+     *  estimator, which doesn't need δ-resolution occupancy: probe them
+     *  every Nth tick so the controller's steady-state cost stays well
+     *  under the monitor's own sampling. Group inputs/lanes keep per-δ
+     *  probes — pressure and skew fidelity drive replica decisions. */
+    static constexpr std::uint32_t stream_probe_stride = 4;
+
+    elastic_options cfg_;
+    bool dynamic_resize_{ true };
+    std::size_t max_queue_capacity_{ 0 };
+    std::int64_t period_ns_{ 0 };
+    std::int64_t last_control_ns_{ 0 };
+
+    std::vector<group_state> groups_;
+    std::vector<stream_state> streams_;
+    std::uint32_t probe_phase_{ 0 };
+
+    std::uint64_t control_ticks_{ 0 };
+    std::uint64_t predictive_resizes_{ 0 };
+};
+
+} /** end namespace raft::elastic **/

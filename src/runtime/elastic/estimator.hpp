@@ -1,0 +1,188 @@
+/**
+ * estimator.hpp — online arrival/service-rate estimation for the elastic
+ * runtime (runtime/elastic/).
+ *
+ * The monitor thread samples every watched FIFO once per δ tick (one
+ * occupancy load, mirroring the §4.1 low-overhead statistics design); at
+ * each control period the per-window tick aggregates are combined with the
+ * queue's monotonic push/pop counters into rate estimates, EWMA-smoothed
+ * across windows.
+ *
+ * The service-rate estimate follows Beard & Chamberlain's run-time
+ * approximation of *non-blocking* service rates (arXiv:1504.00591): the
+ * observed drain rate of a queue equals the consumer's true service rate
+ * only while the consumer is not starved, so the pop rate is divided by the
+ * fraction of the window during which the queue was non-empty. Dually, the
+ * observed push rate underestimates the *offered* arrival rate while the
+ * producer is blocked on a full queue, so the push rate is divided by the
+ * non-full fraction of the window. Both corrections turn blocking-distorted
+ * throughput observations into estimates of the underlying rates — exactly
+ * the λ and μ the M/M/1 and flow models (src/queueing/) expect.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace raft::elastic {
+
+/** Exponentially-weighted moving average with explicit warm-up. */
+class ewma
+{
+public:
+    explicit ewma( const double alpha = 0.4 ) noexcept : alpha_( alpha ) {}
+
+    void update( const double sample ) noexcept
+    {
+        if( !valid_ )
+        {
+            value_ = sample;
+            valid_ = true;
+            return;
+        }
+        value_ = alpha_ * sample + ( 1.0 - alpha_ ) * value_;
+    }
+
+    double value() const noexcept { return value_; }
+    bool valid() const noexcept { return valid_; }
+    void reset() noexcept
+    {
+        value_ = 0.0;
+        valid_ = false;
+    }
+
+private:
+    double alpha_;
+    double value_{ 0.0 };
+    bool valid_{ false };
+};
+
+/**
+ * Rate estimator for one FIFO: δ-tick occupancy probes plus control-window
+ * counter deltas → EWMA estimates of offered arrival rate and non-blocking
+ * service rate.
+ *
+ * Single-threaded by design: both tick() and window() run on the monitor
+ * thread. The FIFO counters it consumes (total_pushed/total_popped) are
+ * relaxed atomics maintained by the queue ends.
+ */
+class rate_estimator
+{
+public:
+    explicit rate_estimator( const double alpha = 0.4 ) noexcept
+        : arrival_( alpha ), service_( alpha )
+    {
+    }
+
+    /** One δ-tick occupancy probe (size and capacity loads only). */
+    void tick( const std::size_t size, const std::size_t capacity ) noexcept
+    {
+        ++ticks_;
+        if( size > 0 )
+        {
+            ++busy_ticks_;
+        }
+        if( capacity != 0 && size >= capacity )
+        {
+            ++full_ticks_;
+        }
+        occ_sum_ += capacity == 0
+                        ? 0.0
+                        : static_cast<double>(
+                              size > capacity ? capacity : size ) /
+                              static_cast<double>( capacity );
+    }
+
+    /**
+     * Close a control window: `pushed`/`popped` are the queue's lifetime
+     * counters, `dt_s` the window length in seconds. Applies the
+     * busy/non-full corrections and folds the window into the EWMAs.
+     */
+    void window( const std::uint64_t pushed, const std::uint64_t popped,
+                 const double dt_s ) noexcept
+    {
+        const auto d_push = pushed - last_pushed_;
+        const auto d_pop  = popped - last_popped_;
+        last_pushed_      = pushed;
+        last_popped_      = popped;
+
+        const auto t = static_cast<double>( ticks_ );
+        busy_frac_   = ticks_ == 0
+                           ? ( d_pop > 0 ? 1.0 : 0.0 )
+                           : static_cast<double>( busy_ticks_ ) / t;
+        full_frac_   = ticks_ == 0
+                           ? 0.0
+                           : static_cast<double>( full_ticks_ ) / t;
+        mean_occ_    = ticks_ == 0 ? 0.0 : occ_sum_ / t;
+        ticks_       = 0;
+        busy_ticks_  = 0;
+        full_ticks_  = 0;
+        occ_sum_     = 0.0;
+
+        if( !( dt_s > 0.0 ) )
+        {
+            return;
+        }
+        observed_push_hz_ = static_cast<double>( d_push ) / dt_s;
+        observed_pop_hz_  = static_cast<double>( d_pop ) / dt_s;
+
+        /** offered arrival rate: pushes happen only while not blocked on a
+         *  full queue; divide by the non-full fraction (floored so a
+         *  saturated window cannot blow the estimate up — saturation shows
+         *  up in full_fraction()/mean occupancy instead) **/
+        const auto open = 1.0 - full_frac_;
+        arrival_.update( observed_push_hz_ /
+                         ( open < 0.05 ? 0.05 : open ) );
+
+        /** non-blocking service rate (1504.00591): pops happen only while
+         *  the queue is non-empty; meaningful only when the consumer was
+         *  observably busy this window, otherwise keep the prior **/
+        if( busy_frac_ > 0.02 )
+        {
+            service_.update( observed_pop_hz_ /
+                             ( busy_frac_ < 0.05 ? 0.05 : busy_frac_ ) );
+        }
+        ++windows_;
+    }
+
+    /** @name smoothed estimates (elements/s) */
+    ///@{
+    double arrival_hz() const noexcept { return arrival_.value(); }
+    double service_hz() const noexcept { return service_.value(); }
+    bool arrival_valid() const noexcept { return arrival_.valid(); }
+    bool service_valid() const noexcept { return service_.valid(); }
+    ///@}
+
+    /** @name last-window raw observations */
+    ///@{
+    double observed_push_hz() const noexcept { return observed_push_hz_; }
+    double observed_pop_hz() const noexcept { return observed_pop_hz_; }
+    double busy_fraction() const noexcept { return busy_frac_; }
+    double full_fraction() const noexcept { return full_frac_; }
+    double mean_occupancy_fraction() const noexcept { return mean_occ_; }
+    std::uint64_t windows() const noexcept { return windows_; }
+    ///@}
+
+private:
+    ewma arrival_;
+    ewma service_;
+
+    std::uint64_t last_pushed_{ 0 };
+    std::uint64_t last_popped_{ 0 };
+    std::uint64_t windows_{ 0 };
+
+    /** per-window tick aggregates **/
+    std::uint64_t ticks_{ 0 };
+    std::uint64_t busy_ticks_{ 0 };
+    std::uint64_t full_ticks_{ 0 };
+    double occ_sum_{ 0.0 };
+
+    /** last-window results **/
+    double observed_push_hz_{ 0.0 };
+    double observed_pop_hz_{ 0.0 };
+    double busy_frac_{ 0.0 };
+    double full_frac_{ 0.0 };
+    double mean_occ_{ 0.0 };
+};
+
+} /** end namespace raft::elastic **/

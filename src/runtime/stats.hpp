@@ -28,7 +28,14 @@ public:
 
     void add( const double fraction ) noexcept
     {
-        auto b = static_cast<std::size_t>( fraction * bucket_count );
+        /** A racing resize can make the occupancy load momentarily exceed
+         *  the capacity load (or undershoot it), yielding fractions outside
+         *  [0,1]; clamp both sides (the !(>) form also catches NaN) before
+         *  the cast, which is UB for negative values. */
+        const double f = !( fraction > 0.0 )
+                             ? 0.0
+                             : ( fraction > 1.0 ? 1.0 : fraction );
+        auto b = static_cast<std::size_t>( f * bucket_count );
         if( b >= bucket_count )
         {
             b = bucket_count - 1;
@@ -62,6 +69,48 @@ public:
         total_ += o.total_;
     }
 
+    /** Mean occupancy fraction, estimated from bucket midpoints. */
+    double mean_fraction() const noexcept
+    {
+        if( total_ == 0 )
+        {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for( std::size_t i = 0; i < bucket_count; ++i )
+        {
+            const auto mid = ( static_cast<double>( i ) + 0.5 ) /
+                             static_cast<double>( bucket_count );
+            sum += static_cast<double>( buckets_[ i ] ) * mid;
+        }
+        return sum / static_cast<double>( total_ );
+    }
+
+    /**
+     * q-quantile of the occupancy fraction (q in [0,1]): upper edge of the
+     * first bucket at which the CDF reaches q. Resolution is one bucket
+     * (0.1); an empty histogram reports 0.
+     */
+    double quantile( const double q ) const noexcept
+    {
+        if( total_ == 0 )
+        {
+            return 0.0;
+        }
+        const auto need = q * static_cast<double>( total_ );
+        std::uint64_t cum = 0;
+        for( std::size_t i = 0; i < bucket_count; ++i )
+        {
+            cum += buckets_[ i ];
+            if( static_cast<double>( cum ) >= need )
+            {
+                return ( static_cast<double>( i ) + 1.0 ) /
+                       static_cast<double>( bucket_count );
+            }
+        }
+        return 1.0;
+    }
+
 private:
     std::array<std::uint64_t, bucket_count> buckets_{};
     std::uint64_t total_{ 0 };
@@ -91,6 +140,19 @@ struct stream_stats
     double service_rate_hz{ 0.0 };     /**< pops per wall second           */
     double arrival_rate_hz{ 0.0 };     /**< pushes per wall second         */
     double throughput_bytes_per_s{ 0.0 };
+
+    /** 99th-percentile occupancy fraction over the sampled run. */
+    double p99_utilization() const noexcept
+    {
+        return occupancy.quantile( 0.99 );
+    }
+
+    /** 99th-percentile occupancy in items (fraction × final capacity). */
+    double p99_occupancy() const noexcept
+    {
+        return p99_utilization() *
+               static_cast<double>( final_capacity );
+    }
 };
 
 /** Whole-application monitoring snapshot returned by map::exe(). */
@@ -125,6 +187,82 @@ struct perf_snapshot
         }
         return sum;
     }
+
+    /** Sample-weighted mean utilization across every stream. */
+    double mean_utilization() const
+    {
+        double weighted = 0.0;
+        std::uint64_t samples = 0;
+        for( const auto &s : streams )
+        {
+            weighted += s.mean_utilization *
+                        static_cast<double>( s.samples );
+            samples += s.samples;
+        }
+        return samples == 0
+                   ? 0.0
+                   : weighted / static_cast<double>( samples );
+    }
+
+    /** 99th-percentile utilization over the merged occupancy histogram of
+     *  every stream (the application-wide tail pressure). */
+    double p99_utilization() const
+    {
+        occupancy_histogram merged;
+        for( const auto &s : streams )
+        {
+            merged.merge( s.occupancy );
+        }
+        return merged.quantile( 0.99 );
+    }
 };
+
+/** @name elastic runtime report (runtime/elastic/) */
+///@{
+
+/** One replica group's trajectory under the elastic controller. */
+struct elastic_group_report
+{
+    std::string kernel_name;     /**< the replicated kernel               */
+    std::size_t min_active{ 1 }; /**< configured floor                    */
+    std::size_t max_active{ 1 }; /**< configured ceiling (= lane count)   */
+    std::size_t final_active{ 1 };
+    std::size_t peak_active{ 1 };
+    std::size_t grows{ 0 };      /**< replica-activation decisions        */
+    std::size_t shrinks{ 0 };    /**< replica-retirement decisions        */
+    std::size_t strategy_switches{ 0 };
+
+    /** Last online estimates (elements/s unless noted). */
+    double lambda_hz{ 0.0 };     /**< offered arrival rate                */
+    double mu_hz{ 0.0 };         /**< non-blocking service rate / replica */
+    double rho{ 0.0 };           /**< λ / (μ · active)                    */
+
+    /** Largest replica count the queueing model asked for over the run
+     *  (windows with warmed-up estimates only) — directly comparable with
+     *  the offline optimizer's answer for the loaded phase. */
+    std::size_t model_desired{ 1 };
+};
+
+/** Whole-run elastic controller summary, returned through
+ *  run_options::elastic.report_out. */
+struct elastic_report
+{
+    std::vector<elastic_group_report> groups;
+    std::uint64_t control_ticks{ 0 };      /**< policy evaluations       */
+    std::uint64_t predictive_resizes{ 0 }; /**< FIFO grows ahead of 3δ   */
+
+    const elastic_group_report *find( const std::string &contains ) const
+    {
+        for( const auto &g : groups )
+        {
+            if( g.kernel_name.find( contains ) != std::string::npos )
+            {
+                return &g;
+            }
+        }
+        return nullptr;
+    }
+};
+///@}
 
 } /** end namespace raft::runtime **/

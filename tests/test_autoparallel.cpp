@@ -242,7 +242,8 @@ TEST( split_strategy, round_robin_cycles )
 
 TEST( split_strategy, least_utilized_picks_emptiest )
 {
-    raft::least_utilized_strategy lu;
+    /** stride 1 = rescan on every element **/
+    raft::least_utilized_strategy lu( 1 );
     raft::ring_buffer<int> a( 4 ), b( 4 ), c( 4 );
     a.push( 1 );
     a.push( 2 );
@@ -253,6 +254,40 @@ TEST( split_strategy, least_utilized_picks_emptiest )
     c.push( 2 );
     c.push( 3 );
     EXPECT_EQ( lu.choose( outs ), 1u );
+}
+
+TEST( split_strategy, least_utilized_caches_choice_for_stride )
+{
+    raft::least_utilized_strategy lu( 4 );
+    raft::ring_buffer<int> a( 4 ), b( 4 );
+    a.push( 1 );
+    std::vector<raft::fifo_base *> outs{ &a, &b };
+    /** rescan ranks b; the next 3 calls reuse the cached choice even
+     *  though b becomes the fuller queue in between **/
+    EXPECT_EQ( lu.choose( outs ), 1u );
+    b.push( 1 );
+    b.push( 2 );
+    b.push( 3 );
+    EXPECT_EQ( lu.choose( outs ), 1u );
+    EXPECT_EQ( lu.choose( outs ), 1u );
+    EXPECT_EQ( lu.choose( outs ), 1u );
+    /** stride exhausted: the rescan sees a (1/4) < b (4/4) **/
+    EXPECT_EQ( lu.choose( outs ), 0u );
+}
+
+TEST( split_strategy, least_utilized_cached_choice_survives_lane_shrink )
+{
+    raft::least_utilized_strategy lu( 8 );
+    raft::ring_buffer<int> a( 4 ), b( 4 ), c( 4 );
+    a.push( 1 );
+    b.push( 1 );
+    std::vector<raft::fifo_base *> outs{ &a, &b, &c };
+    EXPECT_EQ( lu.choose( outs ), 2u ); /** cached: lane 2 **/
+    /** the elastic controller retired lane 2: the cached index is out of
+     *  range for the shrunk lane set, so the strategy rescans **/
+    std::vector<raft::fifo_base *> shrunk{ &a, &b };
+    const auto pick = lu.choose( shrunk );
+    EXPECT_LT( pick, shrunk.size() );
 }
 
 TEST( split_strategy, factory_maps_kinds )
