@@ -1,0 +1,163 @@
+/**
+ * A/B: fault-tolerance machinery overhead on the failure-free path.
+ *
+ * The fault subsystem (graph-wide cancellation, supervised restart,
+ * injection sites) is designed so the happy path pays nothing: abort
+ * checks live only on blocked retry paths, injection sites are a single
+ * relaxed atomic load when disabled, and the supervisor rides the
+ * existing monitor thread. This bench guards that claim:
+ *
+ *   - supervision: the same pipeline with supervision + watchdog enabled
+ *     (no faults ever occur) vs. plain execution;
+ *   - injection: the same pipeline with the injection harness enabled and
+ *     a plan armed that never matches, vs. the harness disabled (the
+ *     per-element cost of an armed-but-idle site).
+ *
+ * Overheads are measured as back-to-back pairs, alternating order, median
+ * of per-pair deltas (same rationale as ab_monitor_overhead: the effect
+ * is below this host's run-to-run noise, so best-of lies).
+ *
+ * `--quick` emits one JSON object (checked in as BENCH_fault.json and
+ * smoke-validated by ctest -L bench_smoke).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+using namespace std::chrono_literals;
+
+constexpr std::size_t items = 1'000'000;
+
+double run_once( const bool supervised, const bool injection_armed )
+{
+    if( injection_armed )
+    {
+        raft::runtime::inject::enable( 1 );
+        raft::runtime::inject::plan p;
+        p.site  = "kernel.run";
+        p.match = "no-such-kernel"; /** armed, never fires **/
+        raft::runtime::inject::arm( p );
+    }
+    std::vector<i64> out;
+    out.reserve( items );
+    raft::map m;
+    m.link( raft::kernel::make<raft::generate<i64>>(
+                items, []( std::size_t i ) { return i64( i ); } ),
+            raft::kernel::make<raft::write_each<i64>>(
+                std::back_inserter( out ) ) );
+    raft::run_options o;
+    o.initial_queue_capacity = 1u << 16;
+    if( supervised )
+    {
+        o.supervision.enabled           = true;
+        o.supervision.watchdog_deadline = 5s; /** armed, never fires **/
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    m.exe( o );
+    const auto wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0 )
+                          .count();
+    if( injection_armed )
+    {
+        raft::runtime::inject::disable();
+    }
+    return wall;
+}
+
+struct ab_result
+{
+    double base_wall{ 1e9 };
+    double test_wall{ 1e9 };
+    double overhead_pct{ 0.0 };
+};
+
+template <class BaseFn, class TestFn>
+ab_result paired_ab( const int reps, BaseFn base, TestFn test )
+{
+    ab_result r;
+    std::vector<double> overheads;
+    for( int i = 0; i < reps; ++i )
+    {
+        double b = 0.0, t = 0.0;
+        if( ( i & 1 ) == 0 )
+        {
+            b = base();
+            t = test();
+        }
+        else
+        {
+            t = test();
+            b = base();
+        }
+        r.base_wall = std::min( r.base_wall, b );
+        r.test_wall = std::min( r.test_wall, t );
+        overheads.push_back( ( t - b ) / b * 100.0 );
+    }
+    std::sort( overheads.begin(), overheads.end() );
+    r.overhead_pct = overheads[ overheads.size() / 2 ];
+    return r;
+}
+
+int run_quick()
+{
+    const auto sup = paired_ab(
+        7, []() { return run_once( false, false ); },
+        []() { return run_once( true, false ); } );
+    const auto inj = paired_ab(
+        7, []() { return run_once( false, false ); },
+        []() { return run_once( false, true ); } );
+    std::printf( "{\n" );
+    std::printf( "  \"fault\":\n  {\n" );
+    std::printf( "    \"bench\": \"fault_ab\",\n" );
+    std::printf( "    \"items\": %zu,\n", items );
+    std::printf( "    \"supervision_overhead\": {\n" );
+    std::printf( "      \"plain_wall_s\": %.4f,\n", sup.base_wall );
+    std::printf( "      \"supervised_wall_s\": %.4f,\n", sup.test_wall );
+    std::printf( "      \"overhead_pct\": %.2f\n", sup.overhead_pct );
+    std::printf( "    },\n" );
+    std::printf( "    \"injection_armed_overhead\": {\n" );
+    std::printf( "      \"disabled_wall_s\": %.4f,\n", inj.base_wall );
+    std::printf( "      \"armed_idle_wall_s\": %.4f,\n", inj.test_wall );
+    std::printf( "      \"overhead_pct\": %.2f\n", inj.overhead_pct );
+    std::printf( "    }\n" );
+    std::printf( "  }\n" );
+    std::printf( "}\n" );
+    return 0;
+}
+
+} /** end anonymous namespace **/
+
+int main( int argc, char **argv )
+{
+    if( argc > 1 && std::strcmp( argv[ 1 ], "--quick" ) == 0 )
+    {
+        return run_quick();
+    }
+    constexpr int reps = 9;
+    std::printf( "A/B: fault-tolerance machinery on the failure-free "
+                 "path (%zu elements, median of %d pairs)\n\n", items,
+                 reps );
+    const auto sup = paired_ab(
+        reps, []() { return run_once( false, false ); },
+        []() { return run_once( true, false ); } );
+    std::printf( "%-34s %-10.4f\n", "plain execution", sup.base_wall );
+    std::printf( "%-34s %-10.4f %+.1f%%\n",
+                 "supervision + watchdog armed", sup.test_wall,
+                 sup.overhead_pct );
+    const auto inj = paired_ab(
+        reps, []() { return run_once( false, false ); },
+        []() { return run_once( false, true ); } );
+    std::printf( "%-34s %-10.4f\n", "injection disabled", inj.base_wall );
+    std::printf( "%-34s %-10.4f %+.1f%%\n",
+                 "injection armed, never firing", inj.test_wall,
+                 inj.overhead_pct );
+    return 0;
+}

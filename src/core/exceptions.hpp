@@ -9,6 +9,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace raft {
 
@@ -96,6 +98,66 @@ public:
         : raft_exception( what )
     {
     }
+};
+
+/**
+ * Blocking stream operation woken by graph-wide cancellation: some kernel
+ * failed terminally (or the watchdog declared the graph stalled) and the
+ * runtime poisoned every stream. Distinct from closed_port_exception —
+ * end-of-stream means the data completed; an abort means it did not. The
+ * scheduler treats it as cancellation, not as a new failure.
+ */
+class stream_aborted_exception : public raft_exception
+{
+public:
+    explicit stream_aborted_exception( const std::string &what )
+        : raft_exception( what )
+    {
+    }
+};
+
+/** One kernel's terminal failure, as aggregated into a graph_error. */
+struct failure_info
+{
+    std::string kernel_name;
+    std::string message;
+};
+
+/**
+ * Structured failure of a whole run: every kernel that failed terminally
+ * (its restart policy exhausted or absent), plus watchdog stalls, collected
+ * by the scheduler after graph-wide cancellation. what() names them all —
+ * no failure is silently dropped in favour of the first.
+ */
+class graph_error : public raft_exception
+{
+public:
+    explicit graph_error( std::vector<failure_info> failures )
+        : raft_exception( format( failures ) ),
+          failures_( std::move( failures ) )
+    {
+    }
+
+    const std::vector<failure_info> &failures() const noexcept
+    {
+        return failures_;
+    }
+
+private:
+    static std::string format( const std::vector<failure_info> &fails )
+    {
+        std::string out = "graph failed (" +
+                          std::to_string( fails.size() ) +
+                          " kernel failure" +
+                          ( fails.size() == 1 ? "" : "s" ) + ")";
+        for( const auto &f : fails )
+        {
+            out += "\n  - " + f.kernel_name + ": " + f.message;
+        }
+        return out;
+    }
+
+    std::vector<failure_info> failures_;
 };
 
 } /** end namespace raft **/

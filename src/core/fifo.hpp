@@ -68,6 +68,16 @@ public:
     virtual void close_read() noexcept         = 0;
     virtual bool read_closed() const noexcept  = 0;
     bool drained() const noexcept { return write_closed() && size() == 0; }
+
+    /**
+     * Graph-wide cancellation: poison the stream. Every blocked (or about
+     * to block) push/pop/claim wakes with stream_aborted_exception instead
+     * of spinning on a live queue whose peers will never make progress
+     * again. Elements still queued are abandoned — an aborted stream's
+     * data is by definition incomplete. Idempotent, safe from any thread.
+     */
+    virtual void abort() noexcept        = 0;
+    virtual bool aborted() const noexcept = 0;
     ///@}
 
     /** @name dynamic resizing (monitor thread)

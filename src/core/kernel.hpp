@@ -21,6 +21,7 @@
 #include "core/defs.hpp"
 #include "core/kstatus.hpp"
 #include "core/port.hpp"
+#include "core/restart.hpp"
 #include "core/signal.hpp"
 
 namespace raft {
@@ -52,6 +53,30 @@ public:
     virtual bool clone_supported() const { return false; }
     /** Fresh kernel equivalent to this one; nullptr if not clonable. */
     virtual kernel *clone() const { return nullptr; }
+    ///@}
+
+    /** @name supervised execution (fault tolerance)
+     * Effective only when run_options::supervision.enabled; otherwise any
+     * run() exception is terminal, exactly as before.
+     */
+    ///@{
+    /** Per-kernel restart policy; kernels without an explicit policy use
+     *  supervision_options::default_restart. */
+    void set_restart_policy( const restart_policy &p ) noexcept
+    {
+        restart_    = p;
+        has_restart_ = true;
+    }
+    /** The explicit policy, or nullptr when none was set. */
+    const restart_policy *restart() const noexcept
+    {
+        return has_restart_ ? &restart_ : nullptr;
+    }
+    /** Hook invoked (on the kernel's scheduler thread) right before a
+     *  supervised restart re-enters run(): reset any internal state a
+     *  half-finished invocation may have left behind. Ports are still
+     *  bound and their streams still live. */
+    virtual void on_restart() {}
     ///@}
 
     /**
@@ -101,6 +126,8 @@ private:
     std::string name_hint_;
     bool internal_alloc_{ false };
     async_signal_bus *bus_{ nullptr };
+    restart_policy restart_{};
+    bool has_restart_{ false };
 };
 
 /** Returned by map::link (Figure 3): references to the two kernels joined

@@ -9,6 +9,7 @@
 #include "core/scheduler.hpp"
 #include "mapping/partition.hpp"
 #include "runtime/elastic/elastic.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace raft {
 
@@ -62,6 +63,16 @@ kernel_pair map::link_impl( kernel *src, const std::string &src_port,
                             kernel *dst, const std::string &dst_port,
                             const order ord )
 {
+    /** adopt before validating: a kernel::make()'d kernel must not leak
+     *  when the link is rejected */
+    if( src != nullptr )
+    {
+        adopt( src );
+    }
+    if( dst != nullptr )
+    {
+        adopt( dst );
+    }
     if( src == nullptr || dst == nullptr )
     {
         throw graph_exception( "link() given a null kernel" );
@@ -186,6 +197,15 @@ void map::exe( const run_options &opts )
     {
         ctrl = std::make_unique<elastic::controller>( opts );
     }
+    std::unique_ptr<runtime::supervisor> sup;
+    if( opts.supervision.enabled )
+    {
+        sup = std::make_unique<runtime::supervisor>( opts.supervision );
+        for( kernel *k : topo_.kernels() )
+        {
+            sup->register_kernel( k );
+        }
+    }
     std::vector<std::unique_ptr<fifo_base>> streams;
     streams.reserve( topo_.edges().size() );
     monitor mon( opts );
@@ -207,6 +227,11 @@ void map::exe( const run_options &opts )
             ctrl->watch_stream( stream.get(), e.src->name(),
                                 e.dst->name() );
         }
+        if( sup != nullptr )
+        {
+            sup->watch_stream( stream.get(), e.src->name(),
+                               e.dst->name() );
+        }
         streams.push_back( std::move( stream ) );
     }
     if( ctrl != nullptr )
@@ -218,6 +243,10 @@ void map::exe( const run_options &opts )
             ctrl->add_group( g );
         }
         mon.attach_elastic( ctrl.get() );
+    }
+    if( sup != nullptr )
+    {
+        mon.attach_supervisor( sup.get() );
     }
 
     /** 5. mapping **/
@@ -234,6 +263,7 @@ void map::exe( const run_options &opts )
     mon.start();
     const auto t0  = std::chrono::steady_clock::now();
     auto scheduler = make_scheduler( opts.scheduler );
+    scheduler->set_supervisor( sup.get() );
     std::exception_ptr run_error;
     try
     {
@@ -250,6 +280,10 @@ void map::exe( const run_options &opts )
     if( ctrl != nullptr && opts.elastic.report_out != nullptr )
     {
         *opts.elastic.report_out = ctrl->report();
+    }
+    if( sup != nullptr && opts.supervision.report_out != nullptr )
+    {
+        *opts.supervision.report_out = sup->report();
     }
     if( opts.stats_out != nullptr )
     {

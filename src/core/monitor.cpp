@@ -4,6 +4,7 @@
 
 #include "core/defs.hpp"
 #include "runtime/elastic/elastic.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace raft {
 
@@ -31,7 +32,7 @@ void monitor::start()
         return;
     }
     if( !opts_.dynamic_resize && !opts_.collect_stats &&
-        elastic_ == nullptr )
+        elastic_ == nullptr && supervisor_ == nullptr )
     {
         running_.store( false );
         return; /** nothing to do — zero overhead **/
@@ -143,6 +144,10 @@ void monitor::tick()
     if( elastic_ != nullptr )
     {
         elastic_->on_tick( now );
+    }
+    if( supervisor_ != nullptr )
+    {
+        supervisor_->on_tick( now );
     }
 }
 

@@ -31,6 +31,10 @@ namespace elastic {
 class controller;
 } /** end namespace elastic **/
 
+namespace runtime {
+class supervisor;
+} /** end namespace runtime **/
+
 class monitor
 {
 public:
@@ -62,6 +66,14 @@ public:
     void attach_elastic( elastic::controller *ctrl ) noexcept
     {
         elastic_ = ctrl;
+    }
+
+    /** Attach the supervisor's watchdog before start(); its on_tick()
+     *  runs at the end of every monitor tick (same lifetime contract as
+     *  the elastic controller). */
+    void attach_supervisor( runtime::supervisor *sup ) noexcept
+    {
+        supervisor_ = sup;
     }
 
     void start();
@@ -102,6 +114,7 @@ private:
     std::atomic<std::uint64_t> ticks_{ 0 };
     std::int64_t delta_ns_{ 10'000 };
     elastic::controller *elastic_{ nullptr };
+    runtime::supervisor *supervisor_{ nullptr };
 };
 
 } /** end namespace raft **/

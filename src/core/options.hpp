@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <thread>
 
+#include "core/restart.hpp"
 #include "mapping/machine.hpp"
 #include "runtime/stats.hpp"
 
@@ -97,6 +98,39 @@ struct elastic_options
     runtime::elastic_report *report_out{ nullptr };
 };
 
+/**
+ * Supervised execution (runtime/supervisor.hpp): restart clean-failure
+ * kernels in place under their restart_policy, and watch the whole graph
+ * for stalls from the monitor thread. Off by default — with enabled ==
+ * false a kernel exception cancels the graph exactly as the unsupervised
+ * runtime does (the scheduler still aggregates every failure into
+ * graph_error either way).
+ */
+struct supervision_options
+{
+    bool enabled{ false };
+
+    /** Policy for kernels without an explicit set_restart_policy(). The
+     *  default (max_restarts == 0) makes every failure terminal. */
+    restart_policy default_restart{};
+
+    /** @name watchdog (rides the monitor thread)
+     * Zero graph-wide progress (no stream pushed or popped an element)
+     * for longer than this deadline flags the graph as stalled; the
+     * supervisor dumps per-kernel occupancy/rate diagnostics and — when
+     * watchdog_abort is set — cancels the graph so blocked kernels wake
+     * with stream_aborted_exception instead of hanging forever.
+     * 0 disables the watchdog.
+     */
+    ///@{
+    std::chrono::nanoseconds watchdog_deadline{ 0 };
+    bool watchdog_abort{ true };
+    ///@}
+
+    /** Filled with the supervisor's history at teardown when non-null. */
+    runtime::supervision_report *report_out{ nullptr };
+};
+
 struct run_options
 {
     /** @name stream allocation */
@@ -146,6 +180,11 @@ struct run_options
     /** @name elastic runtime (online bottleneck adaptation) */
     ///@{
     elastic_options elastic{};
+    ///@}
+
+    /** @name fault tolerance (supervised execution & watchdog) */
+    ///@{
+    supervision_options supervision{};
     ///@}
 };
 

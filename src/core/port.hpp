@@ -129,7 +129,12 @@ public:
         typed<T>().push( value, sig );
     }
 
-    template <class T> void push( T &&value, const signal sig = none )
+    /** constrained to true rvalues so a deduced lvalue push( v ) selects
+     *  the const-ref overload above instead of instantiating fifo<T&> */
+    template <class T,
+              typename std::enable_if<!std::is_lvalue_reference<T>::value,
+                                      int>::type = 0>
+    void push( T &&value, const signal sig = none )
     {
         typed<T>().push( std::move( value ), sig );
     }

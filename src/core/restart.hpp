@@ -1,0 +1,47 @@
+/**
+ * restart.hpp — per-kernel restart policy for supervised execution.
+ *
+ * In a supervised run (run_options::supervision.enabled) a kernel whose
+ * run() throws a non-control-flow exception is not immediately fatal: the
+ * supervisor consults the kernel's restart policy and, while restarts
+ * remain, the scheduler re-enters the kernel's run loop in place after an
+ * exponentially backed-off delay. Ports stay bound and streams stay open
+ * throughout — nothing queued is lost, the kernel simply resumes consuming
+ * and producing (RAII claim guards release any held queue claims during
+ * unwind, so the stream invariants hold across the failure).
+ *
+ * A kernel with max_restarts == 0 (the default) fails terminally on first
+ * throw, triggering graph-wide cancellation.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace raft {
+
+struct restart_policy
+{
+    /** Restart attempts before the failure is terminal (0 = never). */
+    std::size_t max_restarts{ 0 };
+
+    /** Delay before the first restart; doubles (by backoff_multiplier)
+     *  per consecutive restart, capped at max_backoff. */
+    std::chrono::nanoseconds initial_backoff{
+        std::chrono::milliseconds( 1 ) };
+    double backoff_multiplier{ 2.0 };
+    std::chrono::nanoseconds max_backoff{ std::chrono::seconds( 1 ) };
+
+    /** Convenience: up-to-n restarts with the default backoff curve. */
+    static restart_policy up_to( const std::size_t n )
+    {
+        restart_policy p;
+        p.max_restarts = n;
+        return p;
+    }
+
+    /** Convenience: the terminal-on-first-failure default. */
+    static restart_policy none() { return restart_policy{}; }
+};
+
+} /** end namespace raft **/

@@ -149,6 +149,16 @@ public:
     {
         return read_closed_.load( std::memory_order_acquire );
     }
+
+    void abort() noexcept override
+    {
+        aborted_.store( true, std::memory_order_release );
+    }
+
+    bool aborted() const noexcept override
+    {
+        return aborted_.load( std::memory_order_acquire );
+    }
     ///@}
 
     /** @name fifo_base: dynamic resizing */
@@ -467,6 +477,7 @@ public:
                 return;
             }
             exit_cons();
+            throw_if_aborted_read();
             throw_if_drained();
             note_read_block();
             b.pause();
@@ -512,6 +523,7 @@ public:
                 continue;
             }
             exit_cons();
+            throw_if_aborted_read();
             throw_if_drained();
             note_read_block();
             b.pause();
@@ -688,6 +700,7 @@ public:
                 return k;
             }
             exit_prod();
+            throw_if_aborted_write();
             note_write_block();
             b.pause();
         }
@@ -738,6 +751,7 @@ public:
                 return std::min( max_n, avail );
             }
             exit_cons();
+            throw_if_aborted_read();
             throw_if_drained();
             note_read_block();
             b.pause();
@@ -779,6 +793,7 @@ public:
                 return data_[ h & m ];
             }
             exit_cons();
+            throw_if_aborted_read();
             throw_if_drained();
             note_read_block();
             b.pause();
@@ -821,6 +836,7 @@ public:
                 return slot;
             }
             exit_prod();
+            throw_if_aborted_write();
             note_write_block();
             b.pause();
         }
@@ -864,6 +880,7 @@ public:
                 /** post the overflow demand; the monitor thread grows us **/
                 resize_request_.store( detail::pow2_ceil( n ),
                                        std::memory_order_release );
+                throw_if_aborted_read();
                 note_read_block();
                 b.pause();
                 continue;
@@ -881,6 +898,7 @@ public:
                 return;
             }
             exit_cons();
+            throw_if_aborted_read();
             if( write_closed() &&
                 static_cast<std::size_t>(
                     tail_.load( std::memory_order_acquire ) -
@@ -929,6 +947,7 @@ private:
                 return;
             }
             exit_prod();
+            throw_if_aborted_write();
             note_write_block();
             b.pause();
         }
@@ -947,6 +966,35 @@ private:
             }
         }
     }
+
+    /** @name abort checks — blocked paths only
+     * Cancellation poisons the stream via abort(); a blocked end notices on
+     * its next retry (the backoff sleeps at most 50 µs, so wakeup is
+     * prompt). The checks live exclusively on the would-block path: an
+     * operation that succeeds immediately never loads the flag, keeping the
+     * disabled-path hot loop identical to the pre-fault-tolerance code.
+     */
+    ///@{
+    void throw_if_aborted_read()
+    {
+        if( aborted_.load( std::memory_order_acquire ) )
+        {
+            clear_read_block();
+            throw stream_aborted_exception(
+                "stream aborted: graph cancelled" );
+        }
+    }
+
+    void throw_if_aborted_write()
+    {
+        if( aborted_.load( std::memory_order_acquire ) )
+        {
+            clear_write_block();
+            throw stream_aborted_exception(
+                "stream aborted: graph cancelled" );
+        }
+    }
+    ///@}
 
     /** @name shadow-index refresh (see file header)
      * Thread-private caches of the opposite end's counter. Values only lag
@@ -1107,6 +1155,8 @@ private:
     /** lifecycle **/
     std::atomic<bool> write_closed_{ false };
     std::atomic<bool> read_closed_{ false };
+    /** poisoned by graph-wide cancellation (fifo_base::abort) **/
+    std::atomic<bool> aborted_{ false };
 
     /** monitor-facing bookkeeping **/
     std::atomic<std::int64_t> write_blocked_since_{ 0 };

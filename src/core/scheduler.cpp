@@ -1,11 +1,14 @@
 #include "core/scheduler.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "core/defs.hpp"
 #include "core/exceptions.hpp"
+#include "runtime/inject.hpp"
+#include "runtime/supervisor.hpp"
 
 #if defined( __linux__ )
 #include <pthread.h>
@@ -34,40 +37,172 @@ void close_kernel_streams( kernel &k )
     }
 }
 
-void kernel_loop( kernel &k, std::exception_ptr &error,
-                  std::mutex &error_mutex )
+void exec_context::fail( const kernel &k, const std::string &what )
 {
-    try
+    fail_named( k.name(), what );
+}
+
+void exec_context::fail_named( const std::string &name,
+                               const std::string &what )
+{
     {
-        for( ;; )
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        failures_.push_back( failure_info{ name, what } );
+    }
+    cancel();
+}
+
+void exec_context::cancel()
+{
+    if( cancelled.exchange( true, std::memory_order_acq_rel ) )
+    {
+        return;
+    }
+    if( kernels == nullptr )
+    {
+        return;
+    }
+    /** raise termination on the shared bus (all kernels see one bus) **/
+    for( kernel *k : *kernels )
+    {
+        if( k->bus() != nullptr )
         {
-            if( k.bus() != nullptr && k.bus()->termination_requested() )
+            k->bus()->raise( raft::term );
+            break;
+        }
+    }
+    /** poison every stream: blocked peers wake with
+     *  stream_aborted_exception instead of waiting on data that will
+     *  never arrive. Each stream is bound to an output and an input
+     *  port; abort() is idempotent, so sweeping both sides is fine. **/
+    for( kernel *k : *kernels )
+    {
+        for( auto &p : k->output )
+        {
+            if( p.bound() )
             {
-                break;
+                p.raw().abort();
             }
-            if( k.run() == raft::stop )
+        }
+        for( auto &p : k->input )
+        {
+            if( p.bound() )
             {
-                break;
+                p.raw().abort();
             }
         }
     }
-    catch( const closed_port_exception & )
+}
+
+void exec_context::throw_if_failed()
+{
+    std::vector<failure_info> f;
     {
-        /** normal end-of-stream control flow **/
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        f.swap( failures_ );
     }
-    catch( ... )
+    if( !f.empty() )
     {
+        throw graph_error( std::move( f ) );
+    }
+}
+
+namespace {
+
+/** Sleep `d`, waking early if the graph is cancelled meanwhile. */
+void cancellable_sleep( exec_context &ctx, const std::chrono::nanoseconds d )
+{
+    const auto deadline = now_ns() + d.count();
+    while( !ctx.cancelled.load( std::memory_order_acquire ) )
+    {
+        const auto remaining = deadline - now_ns();
+        if( remaining <= 0 )
         {
-            const std::lock_guard<std::mutex> lock( error_mutex );
-            if( !error )
+            return;
+        }
+        std::this_thread::sleep_for( std::chrono::nanoseconds(
+            std::min<std::int64_t>( remaining, 1'000'000 ) ) );
+    }
+}
+
+/**
+ * Classify one escaped exception from kernel k's run():
+ *  - restart granted by the supervisor → true (caller re-enters run())
+ *  - terminal → false, failure recorded, graph cancelled
+ */
+bool handle_kernel_failure( kernel &k, exec_context &ctx,
+                            const std::string &what )
+{
+    if( ctx.sup != nullptr &&
+        !ctx.cancelled.load( std::memory_order_acquire ) )
+    {
+        const auto v = ctx.sup->on_failure( k, what );
+        if( v.restart )
+        {
+            cancellable_sleep( ctx, v.backoff );
+            if( !ctx.cancelled.load( std::memory_order_acquire ) )
             {
-                error = std::current_exception();
+                k.on_restart();
+                return true;
+            }
+            return false;
+        }
+    }
+    ctx.fail( k, what );
+    return false;
+}
+
+} /** end anonymous namespace **/
+
+void kernel_loop( kernel &k, exec_context &ctx )
+{
+    for( ;; ) /** restart loop (supervised runs re-enter here) **/
+    {
+        try
+        {
+            for( ;; )
+            {
+                if( k.bus() != nullptr && k.bus()->termination_requested() )
+                {
+                    break;
+                }
+                runtime::inject::maybe_throw( "kernel.run", k.name() );
+                if( k.run() == raft::stop )
+                {
+                    break;
+                }
             }
         }
-        if( k.bus() != nullptr )
+        catch( const closed_port_exception & )
         {
-            k.bus()->raise( raft::term );
+            /** normal end-of-stream control flow **/
         }
+        catch( const stream_aborted_exception &e )
+        {
+            /** cancellation wake-up — silent when the graph is already
+             *  being torn down; an externally poisoned stream (fault
+             *  injection) counts as this kernel's terminal failure and
+             *  starts the cancellation itself **/
+            if( !ctx.cancelled.load( std::memory_order_acquire ) )
+            {
+                ctx.fail( k, e.what() );
+            }
+        }
+        catch( const std::exception &e )
+        {
+            if( handle_kernel_failure( k, ctx, e.what() ) )
+            {
+                continue;
+            }
+        }
+        catch( ... )
+        {
+            if( handle_kernel_failure( k, ctx, "unknown exception" ) )
+            {
+                continue;
+            }
+        }
+        break;
     }
     close_kernel_streams( k );
 }
@@ -99,8 +234,15 @@ void thread_scheduler::execute( const std::vector<kernel *> &kernels,
                                 const mapping::machine_desc &machine )
 {
     (void) machine;
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    detail::exec_context ctx;
+    ctx.kernels = &kernels;
+    ctx.sup     = sup_;
+    if( sup_ != nullptr )
+    {
+        sup_->set_canceller( [ &ctx ]( const std::string &reason ) {
+            ctx.fail_named( "<watchdog>", reason );
+        } );
+    }
     std::vector<std::thread> threads;
     threads.reserve( kernels.size() );
     for( std::size_t i = 0; i < kernels.size(); ++i )
@@ -111,22 +253,23 @@ void thread_scheduler::execute( const std::vector<kernel *> &kernels,
                 ? assign->core_of[ i ]
                 : 0u;
         const bool pin = opts.pin_threads && assign != nullptr;
-        threads.emplace_back( [ k, core, pin, &error, &error_mutex ]() {
+        threads.emplace_back( [ k, core, pin, &ctx ]() {
             if( pin )
             {
                 detail::pin_to_core( core );
             }
-            detail::kernel_loop( *k, error, error_mutex );
+            detail::kernel_loop( *k, ctx );
         } );
     }
     for( auto &t : threads )
     {
         t.join();
     }
-    if( error )
+    if( sup_ != nullptr )
     {
-        std::rethrow_exception( error );
+        sup_->clear_canceller();
     }
+    ctx.throw_if_failed();
 }
 
 /* ------------------------------------------------------------------ */
@@ -152,9 +295,23 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
     {
         s.store( idle, std::memory_order_relaxed );
     }
+    /** supervised restarts must not put a worker to sleep: a restarting
+     *  kernel instead becomes eligible again at retry_at[i] **/
+    std::vector<std::atomic<std::int64_t>> retry_at( n );
+    for( auto &r : retry_at )
+    {
+        r.store( 0, std::memory_order_relaxed );
+    }
     std::atomic<std::size_t> done_count{ 0 };
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    detail::exec_context ctx;
+    ctx.kernels = &kernels;
+    ctx.sup     = sup_;
+    if( sup_ != nullptr )
+    {
+        sup_->set_canceller( [ &ctx ]( const std::string &reason ) {
+            ctx.fail_named( "<watchdog>", reason );
+        } );
+    }
 
     const auto worker_count = std::max<std::size_t>(
         1, opts.pool_threads != 0 ? opts.pool_threads
@@ -168,6 +325,11 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
             bool progressed = false;
             for( std::size_t i = 0; i < n; ++i )
             {
+                if( retry_at[ i ].load( std::memory_order_acquire ) >
+                    detail::now_ns() )
+                {
+                    continue; /** backing off before a restart **/
+                }
                 int expect = idle;
                 if( !state[ i ].compare_exchange_strong(
                         expect, running, std::memory_order_acq_rel ) )
@@ -176,8 +338,9 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
                 }
                 kernel *k = kernels[ i ];
                 bool finished = false;
-                if( k->bus() != nullptr &&
-                    k->bus()->termination_requested() )
+                if( ( k->bus() != nullptr &&
+                      k->bus()->termination_requested() ) ||
+                    ctx.cancelled.load( std::memory_order_acquire ) )
                 {
                     finished = true;
                 }
@@ -185,6 +348,8 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
                 {
                     try
                     {
+                        runtime::inject::maybe_throw( "kernel.run",
+                                                      k->name() );
                         /** batched dispatch: amortize scheduling cost
                          *  and keep the kernel's working set cache-hot
                          *  while it stays ready **/
@@ -205,21 +370,25 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
                     {
                         finished = true;
                     }
-                    catch( ... )
+                    catch( const stream_aborted_exception &e )
                     {
+                        if( !ctx.cancelled.load(
+                                std::memory_order_acquire ) )
                         {
-                            const std::lock_guard<std::mutex> lock(
-                                error_mutex );
-                            if( !error )
-                            {
-                                error = std::current_exception();
-                            }
-                        }
-                        if( k->bus() != nullptr )
-                        {
-                            k->bus()->raise( raft::term );
+                            ctx.fail( *k, e.what() );
                         }
                         finished = true;
+                    }
+                    catch( const std::exception &e )
+                    {
+                        finished = !pool_retry( *k, ctx, e.what(),
+                                                retry_at[ i ] );
+                    }
+                    catch( ... )
+                    {
+                        finished = !pool_retry( *k, ctx,
+                                                "unknown exception",
+                                                retry_at[ i ] );
                     }
                     progressed = true;
                 }
@@ -254,10 +423,37 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
     {
         t.join();
     }
-    if( error )
+    if( sup_ != nullptr )
     {
-        std::rethrow_exception( error );
+        sup_->clear_canceller();
     }
+    ctx.throw_if_failed();
+}
+
+/**
+ * Pool-side failure handling: consult the supervisor; a granted restart
+ * arms the kernel's retry-eligibility time (no worker sleeps) and invokes
+ * on_restart() here, before the kernel goes back to idle. Returns true
+ * when the kernel will be retried.
+ */
+bool pool_scheduler::pool_retry( kernel &k, detail::exec_context &ctx,
+                                 const std::string &what,
+                                 std::atomic<std::int64_t> &retry_at )
+{
+    if( ctx.sup != nullptr &&
+        !ctx.cancelled.load( std::memory_order_acquire ) )
+    {
+        const auto v = ctx.sup->on_failure( k, what );
+        if( v.restart )
+        {
+            k.on_restart();
+            retry_at.store( detail::now_ns() + v.backoff.count(),
+                            std::memory_order_release );
+            return true;
+        }
+    }
+    ctx.fail( k, what );
+    return false;
 }
 
 std::unique_ptr<ischeduler> make_scheduler( const scheduler_kind kind )

@@ -30,6 +30,11 @@ frame_scan_result scan_scalar_frames( const std::uint8_t *data,
             r.eof = true;
             break;
         }
+        if( data[ r.consumed ] == scalar_heartbeat_frame )
+        {
+            ++r.consumed; /** keep-alive: no payload, not an element **/
+            continue;
+        }
         if( n - r.consumed < frame_size )
         {
             break; /** partial trailing frame: wait for more bytes **/
@@ -38,6 +43,40 @@ frame_scan_result scan_scalar_frames( const std::uint8_t *data,
         ++r.frames;
     }
     return r;
+}
+
+std::size_t compact_scalar_frames( std::uint8_t *data, const std::size_t n,
+                                   const std::size_t payload_size ) noexcept
+{
+    const auto frame_size = 1 + payload_size;
+    std::size_t rd = 0, wr = 0;
+    while( rd < n )
+    {
+        if( data[ rd ] == scalar_heartbeat_frame )
+        {
+            ++rd;
+            continue;
+        }
+        if( data[ rd ] == scalar_eof_frame )
+        {
+            data[ wr++ ] = data[ rd++ ];
+            break;
+        }
+        const auto take = std::min( frame_size, n - rd );
+        if( wr != rd )
+        {
+            std::memmove( data + wr, data + rd, take );
+        }
+        wr += take;
+        rd += take;
+    }
+    /** tail after EOF (or a partial frame) carries over verbatim **/
+    if( rd < n && wr != rd )
+    {
+        std::memmove( data + wr, data + rd, n - rd );
+    }
+    wr += n - rd;
+    return wr;
 }
 
 std::vector<std::uint8_t> rle_compress( const std::uint8_t *data,

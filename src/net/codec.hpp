@@ -42,13 +42,17 @@ std::vector<std::uint8_t> rle_decompress( const std::uint8_t *data,
 
 /** @name scalar frame batching (tcp_kernels wire format)
  * One stream element travels as [1 signal byte][payload_size bytes]; the
- * end-of-stream marker is a lone 0xFF signal byte. These helpers let the
- * TCP kernels gather many frames into one buffer (single send(2)) and scan
- * a received byte buffer for the complete frames it contains (single
- * recv(2) feeding a batched queue publication).
+ * end-of-stream marker is a lone 0xFF signal byte, and a lone 0xFE signal
+ * byte is a heartbeat — an idle link's keep-alive that carries no payload
+ * and is skipped by the scanner (receivers prove the peer is alive without
+ * disturbing the element stream). These helpers let the TCP kernels gather
+ * many frames into one buffer (single send(2)) and scan a received byte
+ * buffer for the complete frames it contains (single recv(2) feeding a
+ * batched queue publication).
  */
 ///@{
-inline constexpr std::uint8_t scalar_eof_frame = 0xFF;
+inline constexpr std::uint8_t scalar_eof_frame       = 0xFF;
+inline constexpr std::uint8_t scalar_heartbeat_frame = 0xFE;
 
 /** Append one [sig][payload] frame to out. */
 void append_scalar_frame( std::vector<std::uint8_t> &out,
@@ -64,11 +68,18 @@ struct frame_scan_result
 };
 
 /** Count the complete [sig][payload] frames at the front of data[0..n),
- *  stopping at the EOF marker or a partial trailing frame. Frame i starts
- *  at offset i * (1 + payload_size). */
+ *  skipping heartbeat bytes and stopping at the EOF marker or a partial
+ *  trailing frame. With no heartbeats present, frame i starts at offset
+ *  i * (1 + payload_size); compact_scalar_frames() restores that layout
+ *  otherwise. */
 frame_scan_result scan_scalar_frames( const std::uint8_t *data,
                                       std::size_t n,
                                       std::size_t payload_size ) noexcept;
+
+/** Remove heartbeat bytes in place from data[0..n): after this the frames
+ *  scan_scalar_frames() counted are contiguous. Returns the new length. */
+std::size_t compact_scalar_frames( std::uint8_t *data, std::size_t n,
+                                   std::size_t payload_size ) noexcept;
 ///@}
 
 /** @name varint / zigzag primitives */

@@ -127,6 +127,9 @@ public:
             {
                 eof_ = true; /** peer closed without an EOF frame **/
             }
+            /** drop keep-alive bytes so frames sit contiguously **/
+            rx_.resize( compact_scalar_frames( rx_.data(), rx_.size(),
+                                               sizeof( T ) ) );
         }
         const auto scan =
             scan_scalar_frames( rx_.data(), rx_.size(), sizeof( T ) );

@@ -12,6 +12,7 @@
 
 #include "core/defs.hpp"
 #include "core/exceptions.hpp"
+#include "core/restart.hpp"
 #include "core/fifo.hpp"
 #include "core/graph.hpp"
 #include "core/kernel.hpp"
@@ -44,4 +45,6 @@
 #include "runtime/elastic/elastic.hpp"
 #include "runtime/elastic/estimator.hpp"
 #include "runtime/elastic/policy.hpp"
+#include "runtime/inject.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/supervisor.hpp"

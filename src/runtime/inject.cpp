@@ -1,0 +1,181 @@
+#include "runtime/inject.hpp"
+
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace raft::runtime::inject {
+
+namespace {
+
+/** splitmix64: tiny, seedable, good enough for a fault coin. */
+std::uint64_t splitmix64( std::uint64_t &state ) noexcept
+{
+    state += 0x9e3779b97f4a7c15ull;
+    auto z = state;
+    z      = ( z ^ ( z >> 30 ) ) * 0xbf58476d1ce4e5b9ull;
+    z      = ( z ^ ( z >> 27 ) ) * 0x94d049bb133111ebull;
+    return z ^ ( z >> 31 );
+}
+
+struct plan_state
+{
+    plan p;
+    std::uint64_t hits{ 0 };
+    std::uint64_t firings{ 0 };
+};
+
+struct registry
+{
+    std::mutex mutex;
+    std::vector<plan_state> plans;
+    std::vector<std::pair<std::string, std::uint64_t>> site_fired;
+    std::uint64_t rng{ 0 };
+};
+
+registry &reg()
+{
+    static registry r;
+    return r;
+}
+
+/**
+ * One matching pass: count the hit against every armed plan for `site`
+ * whose action is `wanted`, and report whether any fires. Returns a copy
+ * of the fired plan (the lock is dropped before the action executes).
+ */
+bool match( const char *site, const std::string &det, const action wanted,
+            plan *out )
+{
+    auto &r = reg();
+    const std::lock_guard<std::mutex> lock( r.mutex );
+    bool fired = false;
+    for( auto &s : r.plans )
+    {
+        if( s.p.act != wanted || s.p.site != site )
+        {
+            continue;
+        }
+        if( !s.p.match.empty() &&
+            det.find( s.p.match ) == std::string::npos )
+        {
+            continue;
+        }
+        const auto hit = ++s.hits;
+        if( hit <= s.p.after )
+        {
+            continue;
+        }
+        if( s.p.count != 0 && s.firings >= s.p.count )
+        {
+            continue;
+        }
+        if( s.p.probability < 1.0 )
+        {
+            const auto coin =
+                static_cast<double>( splitmix64( r.rng ) >> 11 ) *
+                0x1.0p-53;
+            if( coin >= s.p.probability )
+            {
+                continue;
+            }
+        }
+        ++s.firings;
+        if( !fired )
+        {
+            fired = true;
+            if( out != nullptr )
+            {
+                *out = s.p;
+            }
+        }
+    }
+    if( fired )
+    {
+        for( auto &sf : r.site_fired )
+        {
+            if( sf.first == site )
+            {
+                ++sf.second;
+                return fired;
+            }
+        }
+        r.site_fired.emplace_back( site, 1 );
+    }
+    return fired;
+}
+
+} /** end anonymous namespace **/
+
+void enable( const std::uint64_t seed )
+{
+    auto &r = reg();
+    {
+        const std::lock_guard<std::mutex> lock( r.mutex );
+        r.plans.clear();
+        r.site_fired.clear();
+        r.rng = seed;
+    }
+    detail::active.store( true, std::memory_order_release );
+}
+
+void disable()
+{
+    detail::active.store( false, std::memory_order_release );
+    auto &r = reg();
+    const std::lock_guard<std::mutex> lock( r.mutex );
+    r.plans.clear();
+    r.site_fired.clear();
+}
+
+void arm( plan p )
+{
+    auto &r = reg();
+    const std::lock_guard<std::mutex> lock( r.mutex );
+    r.plans.push_back( plan_state{ std::move( p ), 0, 0 } );
+}
+
+std::uint64_t fired( const std::string &site )
+{
+    auto &r = reg();
+    const std::lock_guard<std::mutex> lock( r.mutex );
+    for( const auto &sf : r.site_fired )
+    {
+        if( sf.first == site )
+        {
+            return sf.second;
+        }
+    }
+    return 0;
+}
+
+namespace detail {
+
+void throw_site( const char *site, const std::string &det )
+{
+    plan p;
+    if( match( site, det, action::throw_error, &p ) )
+    {
+        throw injected_fault( p.message + " [site " + site +
+                              ( det.empty() ? "" : ", " + det ) + "]" );
+    }
+}
+
+void delay_site( const char *site, const std::string &det )
+{
+    plan p;
+    if( match( site, det, action::delay, &p ) )
+    {
+        std::this_thread::sleep_for( p.delay );
+    }
+}
+
+bool kill_site( const char *site, const std::string &det )
+{
+    return match( site, det, action::kill_link, nullptr );
+}
+
+} /** end namespace detail **/
+
+} /** end namespace raft::runtime::inject **/

@@ -217,6 +217,46 @@ struct perf_snapshot
     }
 };
 
+/** @name supervision report (runtime/supervisor.hpp) */
+///@{
+
+/** One kernel's history under the supervisor. */
+struct kernel_supervision_report
+{
+    std::string kernel_name;
+    std::size_t restarts{ 0 };        /**< restarts granted              */
+    std::size_t failures{ 0 };        /**< throws observed (incl. final) */
+    bool terminal{ false };           /**< policy exhausted / none       */
+    std::string last_error;
+};
+
+/** Whole-run supervision summary, returned through
+ *  run_options::supervision.report_out. */
+struct supervision_report
+{
+    std::vector<kernel_supervision_report> kernels;
+    std::size_t total_restarts{ 0 };
+    std::size_t terminal_failures{ 0 };
+    std::size_t watchdog_stalls{ 0 };
+    /** Per-kernel occupancy/rate diagnostics captured at the last stall
+     *  (empty when the watchdog never fired). */
+    std::string last_stall_diagnostics;
+
+    const kernel_supervision_report *
+    find( const std::string &contains ) const
+    {
+        for( const auto &k : kernels )
+        {
+            if( k.kernel_name.find( contains ) != std::string::npos )
+            {
+                return &k;
+            }
+        }
+        return nullptr;
+    }
+};
+///@}
+
 /** @name elastic runtime report (runtime/elastic/) */
 ///@{
 

@@ -1,0 +1,213 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace raft::runtime {
+
+supervisor::supervisor( const supervision_options &opts ) : opts_( opts ) {}
+
+void supervisor::register_kernel( kernel *k )
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    kernel_state s;
+    s.k = k;
+    /** explicit per-kernel policy wins over the configured default **/
+    const auto *p = k->restart();
+    s.policy      = p != nullptr ? *p : opts_.default_restart;
+    kernels_.push_back( std::move( s ) );
+}
+
+void supervisor::watch_stream( fifo_base *f, std::string src,
+                               std::string dst )
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    stream_state s;
+    s.f   = f;
+    s.src = std::move( src );
+    s.dst = std::move( dst );
+    streams_.push_back( std::move( s ) );
+}
+
+supervisor::kernel_state *supervisor::find_locked( const kernel &k )
+{
+    for( auto &s : kernels_ )
+    {
+        if( s.k == &k )
+        {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+supervisor::verdict supervisor::on_failure( kernel &k,
+                                            const std::string &what )
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    auto *s = find_locked( k );
+    if( s == nullptr )
+    {
+        /** unknown kernel (not registered): terminal, but still counted **/
+        ++terminal_failures_;
+        return verdict{};
+    }
+    ++s->failures;
+    s->last_error = what;
+    if( s->restarts < s->policy.max_restarts )
+    {
+        /** grant a restart: backoff = initial · multiplier^restarts,
+         *  capped at max_backoff **/
+        const auto n = s->restarts++;
+        ++total_restarts_;
+        double ns = static_cast<double>( s->policy.initial_backoff.count() );
+        for( std::size_t i = 0; i < n; ++i )
+        {
+            ns *= s->policy.backoff_multiplier;
+            if( ns >= static_cast<double>( s->policy.max_backoff.count() ) )
+            {
+                break;
+            }
+        }
+        ns = std::min(
+            ns, static_cast<double>( s->policy.max_backoff.count() ) );
+        verdict v;
+        v.restart = true;
+        v.backoff = std::chrono::nanoseconds(
+            static_cast<std::int64_t>( std::max( 0.0, ns ) ) );
+        return v;
+    }
+    s->terminal = true;
+    ++terminal_failures_;
+    return verdict{};
+}
+
+void supervisor::set_canceller(
+    std::function<void( const std::string & )> c )
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    canceller_ = std::move( c );
+}
+
+void supervisor::clear_canceller()
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    canceller_ = nullptr;
+}
+
+std::string supervisor::stall_diagnostics_locked( const std::int64_t now_ns )
+{
+    /** Per-stream occupancy + rate dump, the stats.hpp counters read live:
+     *  enough to see which queue is full (blocked producer) and which is
+     *  empty (starved consumer) when the graph wedged. */
+    const double window_s =
+        last_rate_ns_ > 0
+            ? static_cast<double>( now_ns - last_rate_ns_ ) * 1e-9
+            : 0.0;
+    std::ostringstream os;
+    for( auto &s : streams_ )
+    {
+        const auto pushed = s.f->total_pushed();
+        const auto popped = s.f->total_popped();
+        os << "  " << s.src << " -> " << s.dst << ": occupancy "
+           << s.f->size() << "/" << s.f->capacity() << ", pushed "
+           << pushed << ", popped " << popped;
+        if( window_s > 0.0 )
+        {
+            os << ", rate in "
+               << static_cast<double>( pushed - s.prev_pushed ) / window_s
+               << "/s out "
+               << static_cast<double>( popped - s.prev_popped ) / window_s
+               << "/s";
+        }
+        os << "\n";
+    }
+    for( const auto &k : kernels_ )
+    {
+        if( k.failures != 0 )
+        {
+            os << "  kernel " << k.k->name() << ": " << k.failures
+               << " failure(s), " << k.restarts << " restart(s)"
+               << ( k.terminal ? " [terminal]" : "" ) << ": "
+               << k.last_error << "\n";
+        }
+    }
+    return os.str();
+}
+
+void supervisor::on_tick( const std::int64_t now_ns )
+{
+    if( opts_.watchdog_deadline.count() <= 0 )
+    {
+        return;
+    }
+    std::function<void( const std::string & )> cancel;
+    std::string reason;
+    {
+        const std::lock_guard<std::mutex> lock( mutex_ );
+        std::uint64_t progress = 0;
+        for( const auto &s : streams_ )
+        {
+            progress += s.f->total_pushed() + s.f->total_popped();
+        }
+        if( last_progress_ns_ == 0 || progress != last_progress_ )
+        {
+            /** first tick, or the graph moved — rearm **/
+            for( auto &s : streams_ )
+            {
+                s.prev_pushed = s.f->total_pushed();
+                s.prev_popped = s.f->total_popped();
+            }
+            last_rate_ns_     = last_progress_ns_ == 0 ? 0 : last_progress_ns_;
+            last_progress_    = progress;
+            last_progress_ns_ = now_ns;
+            stall_flagged_    = false;
+            return;
+        }
+        if( stall_flagged_ ||
+            now_ns - last_progress_ns_ < opts_.watchdog_deadline.count() )
+        {
+            return;
+        }
+        /** deadline blown with zero progress: one stall per quiet period **/
+        stall_flagged_ = true;
+        ++watchdog_stalls_;
+        last_stall_diagnostics_ = stall_diagnostics_locked( now_ns );
+        if( !opts_.watchdog_abort || !canceller_ )
+        {
+            return;
+        }
+        cancel = canceller_;
+        reason =
+            "watchdog: no stream progress for " +
+            std::to_string( ( now_ns - last_progress_ns_ ) / 1'000'000 ) +
+            " ms\n" + last_stall_diagnostics_;
+    }
+    /** invoke outside the lock — the canceller pokes schedulers/streams **/
+    cancel( reason );
+}
+
+supervision_report supervisor::report() const
+{
+    const std::lock_guard<std::mutex> lock( mutex_ );
+    supervision_report out;
+    out.total_restarts         = total_restarts_;
+    out.terminal_failures      = terminal_failures_;
+    out.watchdog_stalls        = watchdog_stalls_;
+    out.last_stall_diagnostics = last_stall_diagnostics_;
+    for( const auto &s : kernels_ )
+    {
+        kernel_supervision_report k;
+        k.kernel_name = s.k->name();
+        k.restarts    = s.restarts;
+        k.failures    = s.failures;
+        k.terminal    = s.terminal;
+        k.last_error  = s.last_error;
+        out.kernels.push_back( std::move( k ) );
+    }
+    return out;
+}
+
+} /** end namespace raft::runtime **/

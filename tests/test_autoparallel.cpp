@@ -86,13 +86,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST( autoparallel, graph_rewritten_with_adapters_and_clones )
 {
+    std::vector<i64> sink;
     raft::map m;
     auto p = m.link<raft::out>( seq_source( 10 ),
                                 raft::kernel::make<doubler>() );
     m.link<raft::out>( &( p.dst ),
                        raft::kernel::make<raft::write_each<i64>>(
-                           std::back_inserter(
-                               *new std::vector<i64>() ) ) );
+                           std::back_inserter( sink ) ) );
     m.exe( replicated_opts( 3, raft::split_kind::least_utilized ) );
     /** source + split + 3 doublers + reduce + sink = 7 kernels **/
     EXPECT_EQ( m.graph().kernels().size(), 7u );
@@ -133,13 +133,13 @@ TEST( autoparallel, width_one_is_a_noop )
 
 TEST( autoparallel, disabled_flag_is_a_noop )
 {
+    std::vector<i64> sink;
     raft::map m;
     auto p = m.link<raft::out>( seq_source( 100 ),
                                 raft::kernel::make<doubler>() );
     m.link<raft::out>( &( p.dst ),
                        raft::kernel::make<raft::write_each<i64>>(
-                           std::back_inserter(
-                               *new std::vector<i64>() ) ) );
+                           std::back_inserter( sink ) ) );
     raft::run_options o;
     o.enable_auto_parallel = false;
     o.replication_width    = 8;

@@ -101,9 +101,10 @@ TEST( map, unlinked_port_throws )
 
 TEST( map, exe_twice_throws )
 {
+    std::ostringstream sink;
     raft::map m;
     m.link( seq_source( 2 ), raft::kernel::make<raft::print<i64>>(
-                                 *new std::ostringstream ) );
+                                 sink ) );
     raft::run_options o;
     m.exe( o );
     EXPECT_THROW( m.exe( o ), raft::graph_exception );
@@ -227,10 +228,10 @@ TEST( map, kernel_exception_propagates_to_caller )
 
 TEST( map, graph_introspection_reflects_links )
 {
+    std::ostringstream sink;
     raft::map m;
     auto p = m.link( seq_source( 1 ),
-                     raft::kernel::make<raft::print<i64>>(
-                         *new std::ostringstream ) );
+                     raft::kernel::make<raft::print<i64>>( sink ) );
     (void) p;
     EXPECT_EQ( m.graph().edges().size(), 1u );
     EXPECT_EQ( m.graph().kernels().size(), 2u );
