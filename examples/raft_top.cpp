@@ -1,0 +1,374 @@
+/**
+ * raft_top — a `top` for a running stream graph.
+ *
+ * Polls the Prometheus endpoint a telemetry-enabled map::exe() serves
+ * (run_options::telemetry.serve_prometheus) and renders a refreshing
+ * terminal table: per-kernel run counts, busy time and live service
+ * rates, and per-stream occupancy against capacity with a utilization
+ * bar. Everything shown is parsed back out of the text exposition
+ * format, so this doubles as a worked example of consuming the scrape.
+ *
+ *   raft_top <port> [host] [--interval <ms>] [--iterations <n>]
+ *            [--no-clear]
+ *   raft_top --demo
+ *
+ * --demo runs a built-in pipeline with telemetry enabled in a background
+ * thread and watches it for a few refreshes (the CI smoke path).
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+using i64 = std::int64_t;
+using namespace std::chrono_literals;
+
+/** one parsed exposition sample **/
+struct sample
+{
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value{ 0.0 };
+};
+
+/** Parse the text exposition format: NAME{k="v",...} VALUE per line.
+ *  Comments (#) and histogram series are kept too — callers filter. */
+std::vector<sample> parse_exposition( const std::string &body )
+{
+    std::vector<sample> out;
+    std::istringstream is( body );
+    std::string line;
+    while( std::getline( is, line ) )
+    {
+        if( line.empty() || line[ 0 ] == '#' )
+        {
+            continue;
+        }
+        sample s;
+        auto i = line.find_first_of( "{ " );
+        if( i == std::string::npos )
+        {
+            continue;
+        }
+        s.name = line.substr( 0, i );
+        if( line[ i ] == '{' )
+        {
+            const auto close = line.find( '}', i );
+            if( close == std::string::npos )
+            {
+                continue;
+            }
+            auto rest = line.substr( i + 1, close - i - 1 );
+            std::size_t p = 0;
+            while( p < rest.size() )
+            {
+                const auto eq = rest.find( '=', p );
+                if( eq == std::string::npos )
+                {
+                    break;
+                }
+                const auto key = rest.substr( p, eq - p );
+                std::string val;
+                std::size_t q = eq + 2; /** skip =" **/
+                while( q < rest.size() && rest[ q ] != '"' )
+                {
+                    if( rest[ q ] == '\\' && q + 1 < rest.size() )
+                    {
+                        ++q;
+                    }
+                    val.push_back( rest[ q ] );
+                    ++q;
+                }
+                s.labels[ key ] = val;
+                p = q + 1;
+                if( p < rest.size() && rest[ p ] == ',' )
+                {
+                    ++p;
+                }
+            }
+            i = close + 1;
+        }
+        try
+        {
+            s.value = std::stod( line.substr( i ) );
+        }
+        catch( ... )
+        {
+            continue;
+        }
+        out.push_back( std::move( s ) );
+    }
+    return out;
+}
+
+double find_value( const std::vector<sample> &samples,
+                   const std::string &name,
+                   const std::map<std::string, std::string> &labels )
+{
+    for( const auto &s : samples )
+    {
+        if( s.name != name )
+        {
+            continue;
+        }
+        bool match = true;
+        for( const auto &[ k, v ] : labels )
+        {
+            const auto it = s.labels.find( k );
+            if( it == s.labels.end() || it->second != v )
+            {
+                match = false;
+                break;
+            }
+        }
+        if( match )
+        {
+            return s.value;
+        }
+    }
+    return 0.0;
+}
+
+std::string util_bar( const double frac, const int width = 20 )
+{
+    const int fill = std::clamp(
+        static_cast<int>( frac * width + 0.5 ), 0, width );
+    std::string bar( "[" );
+    bar.append( static_cast<std::size_t>( fill ), '#' );
+    bar.append( static_cast<std::size_t>( width - fill ), '.' );
+    bar += "]";
+    return bar;
+}
+
+void render( const std::vector<sample> &samples, const bool clear )
+{
+    if( clear )
+    {
+        std::printf( "\x1b[2J\x1b[H" ); /** clear + home **/
+    }
+    std::printf( "raft_top — live stream-graph telemetry\n\n" );
+
+    /** kernels: one row per (kernel, id) with a service-rate series **/
+    std::printf( "%-34s %12s %10s %12s\n", "KERNEL", "RUNS", "BUSY s",
+                 "RATE /s" );
+    for( const auto &s : samples )
+    {
+        if( s.name != "raft_kernel_service_rate_hz" )
+        {
+            continue;
+        }
+        const auto kernel = s.labels.count( "kernel" )
+                                ? s.labels.at( "kernel" )
+                                : "?";
+        const auto runs = find_value( samples, "raft_kernel_runs_total",
+                                      s.labels );
+        const auto busy = find_value(
+            samples, "raft_kernel_busy_seconds_total", s.labels );
+        std::printf( "%-34.34s %12.0f %10.3f %12.1f\n", kernel.c_str(),
+                     runs, busy, s.value );
+    }
+
+    /** streams: occupancy vs capacity with a bar **/
+    std::printf( "\n%-44s %8s %8s  %s\n", "STREAM", "OCC", "CAP",
+                 "UTILIZATION" );
+    for( const auto &s : samples )
+    {
+        if( s.name != "raft_stream_occupancy" )
+        {
+            continue;
+        }
+        const auto src = s.labels.count( "src" ) ? s.labels.at( "src" )
+                                                 : "?";
+        const auto dst = s.labels.count( "dst" ) ? s.labels.at( "dst" )
+                                                 : "?";
+        const auto cap = find_value( samples, "raft_stream_capacity",
+                                     s.labels );
+        const auto frac = cap > 0.0 ? s.value / cap : 0.0;
+        const auto edge = src + " -> " + dst;
+        std::printf( "%-44.44s %8.0f %8.0f  %s %4.0f%%\n", edge.c_str(),
+                     s.value, cap, util_bar( frac ).c_str(),
+                     frac * 100.0 );
+    }
+
+    /** runtime counters worth a glance **/
+    std::printf( "\nmonitor ticks %.0f | fifo resizes %.0f | restarts "
+                 "%.0f | cancellations %.0f\n",
+                 find_value( samples, "raft_monitor_ticks_total", {} ),
+                 find_value( samples, "raft_fifo_resizes_total", {} ),
+                 find_value( samples, "raft_supervisor_restarts_total",
+                             {} ),
+                 find_value( samples, "raft_graph_cancellations_total",
+                             {} ) );
+}
+
+int watch( const std::string &host, const std::uint16_t port,
+           const std::chrono::milliseconds interval,
+           const long iterations, const bool clear )
+{
+    long shown = 0;
+    for( long i = 0; iterations < 0 || i < iterations; ++i )
+    {
+        std::string body;
+        try
+        {
+            body = raft::telemetry::scrape_prometheus( host, port );
+        }
+        catch( const raft::net_exception & )
+        {
+            if( shown > 0 )
+            {
+                /** endpoint went away after we saw it: graph finished **/
+                std::printf( "\nendpoint closed — graph finished.\n" );
+                return 0;
+            }
+            std::this_thread::sleep_for( interval );
+            continue;
+        }
+        render( parse_exposition( body ), clear );
+        ++shown;
+        std::this_thread::sleep_for( interval );
+    }
+    return shown > 0 ? 0 : 1;
+}
+
+/** Relay with a fixed per-element service time so the demo graph stays
+ *  alive long enough to watch.  `on_first_run` fires once from the
+ *  scheduler thread — it happens-after everything map::exe() did before
+ *  spawning kernels, so it can safely publish bound_port_out. */
+class slow_relay : public raft::kernel
+{
+public:
+    explicit slow_relay( const std::chrono::microseconds delay,
+                         std::function<void()> on_first_run )
+        : delay_( delay ), first_( std::move( on_first_run ) )
+    {
+        input.addPort<i64>( "0" );
+        output.addPort<i64>( "0" );
+        set_name( "slow_relay" );
+    }
+    raft::kstatus run() override
+    {
+        if( first_ )
+        {
+            first_();
+            first_ = nullptr;
+        }
+        auto v = input[ "0" ].pop_s<i64>();
+        std::this_thread::sleep_for( delay_ );
+        auto out = output[ "0" ].allocate_s<i64>();
+        ( *out ) = *v;
+        return raft::proceed;
+    }
+
+private:
+    std::chrono::microseconds delay_;
+    std::function<void()> first_;
+};
+
+/** --demo: a slow-middle pipeline with telemetry served on an ephemeral
+ *  port, watched from this process **/
+int run_demo()
+{
+    std::atomic<std::uint16_t> port{ 0 };
+    std::uint16_t bound = 0;
+    std::vector<i64> out;
+
+    std::thread graph( [ & ]() {
+        raft::map m;
+        auto kp = m.link(
+            raft::kernel::make<raft::generate<i64>>(
+                100000,
+                []( std::size_t i ) { return static_cast<i64>( i ); } ),
+            raft::kernel::make<slow_relay>(
+                5us, [ & ]() { port.store( bound ); } ) );
+        m.link( &kp.dst, raft::kernel::make<raft::write_each<i64>>(
+                             std::back_inserter( out ) ) );
+        raft::run_options o;
+        o.telemetry.enabled          = true;
+        o.telemetry.serve_prometheus = true;
+        o.telemetry.bound_port_out   = &bound;
+        m.exe( o );
+    } );
+
+    while( port.load() == 0 )
+    {
+        std::this_thread::sleep_for( 1ms );
+    }
+    const auto rc = watch( "127.0.0.1", port.load(), 100ms, 5,
+                           /*clear*/ false );
+    graph.join();
+    std::printf( "demo drained %zu elements\n", out.size() );
+    return rc;
+}
+
+} /** end anonymous namespace **/
+
+int main( int argc, char **argv )
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    auto interval      = std::chrono::milliseconds( 500 );
+    long iterations    = -1; /** forever **/
+    bool clear         = true;
+    bool demo          = false;
+    for( int i = 1; i < argc; ++i )
+    {
+        if( std::strcmp( argv[ i ], "--demo" ) == 0 )
+        {
+            demo = true;
+        }
+        else if( std::strcmp( argv[ i ], "--interval" ) == 0 &&
+                 i + 1 < argc )
+        {
+            interval = std::chrono::milliseconds(
+                std::atol( argv[ ++i ] ) );
+        }
+        else if( std::strcmp( argv[ i ], "--iterations" ) == 0 &&
+                 i + 1 < argc )
+        {
+            iterations = std::atol( argv[ ++i ] );
+        }
+        else if( std::strcmp( argv[ i ], "--no-clear" ) == 0 )
+        {
+            clear = false;
+        }
+        else if( port == 0 && std::atoi( argv[ i ] ) > 0 )
+        {
+            port = static_cast<std::uint16_t>( std::atoi( argv[ i ] ) );
+        }
+        else
+        {
+            host = argv[ i ];
+        }
+    }
+    if( demo )
+    {
+        return run_demo();
+    }
+    if( port == 0 )
+    {
+        std::fprintf(
+            stderr,
+            "usage: raft_top <port> [host] [--interval <ms>]\n"
+            "                [--iterations <n>] [--no-clear]\n"
+            "       raft_top --demo\n\n"
+            "Point it at a graph run with\n"
+            "  opts.telemetry.enabled = true;\n"
+            "  opts.telemetry.serve_prometheus = true;\n" );
+        return 2;
+    }
+    return watch( host, port, interval, iterations, clear );
+}

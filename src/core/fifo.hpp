@@ -149,6 +149,34 @@ public:
     virtual bool try_pop_as_double( double &out, signal &sig )      = 0;
     virtual bool try_push_from_double( double value, signal sig )   = 0;
     ///@}
+
+    /** @name telemetry (runtime/telemetry/)
+     * Interned tracer name ids for this stream's blocked-on-push /
+     * blocked-on-pop spans, set by the active telemetry session at stream
+     * registration. 0 (the default) means "not traced" — the ring buffer
+     * skips span emission entirely, so untraced graphs pay nothing beyond
+     * the tracer's one relaxed load.
+     */
+    ///@{
+    void set_telemetry_names( const std::uint32_t push_block,
+                              const std::uint32_t pop_block ) noexcept
+    {
+        tele_push_block_ = push_block;
+        tele_pop_block_  = pop_block;
+    }
+    std::uint32_t telemetry_push_block() const noexcept
+    {
+        return tele_push_block_;
+    }
+    std::uint32_t telemetry_pop_block() const noexcept
+    {
+        return tele_pop_block_;
+    }
+    ///@}
+
+private:
+    std::uint32_t tele_push_block_{ 0 };
+    std::uint32_t tele_pop_block_{ 0 };
 };
 
 /**

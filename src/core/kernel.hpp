@@ -26,6 +26,10 @@
 
 namespace raft {
 
+namespace telemetry {
+struct kernel_probe;
+} /** end namespace telemetry **/
+
 class kernel
 {
 public:
@@ -105,6 +109,12 @@ public:
      *  outside exe()); see signal.hpp. */
     async_signal_bus *bus() const noexcept { return bus_; }
     void set_bus( async_signal_bus *b ) noexcept { bus_ = b; }
+
+    /** Telemetry probe attached by the active telemetry session (null
+     *  when telemetry is off — schedulers branch on the raw pointer, so
+     *  the disabled path is a single load). */
+    telemetry::kernel_probe *probe() const noexcept { return probe_; }
+    void set_probe( telemetry::kernel_probe *p ) noexcept { probe_ = p; }
     ///@}
 
     /**
@@ -126,6 +136,7 @@ private:
     std::string name_hint_;
     bool internal_alloc_{ false };
     async_signal_bus *bus_{ nullptr };
+    telemetry::kernel_probe *probe_{ nullptr };
     restart_policy restart_{};
     bool has_restart_{ false };
 };

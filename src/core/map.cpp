@@ -10,6 +10,7 @@
 #include "mapping/partition.hpp"
 #include "runtime/elastic/elastic.hpp"
 #include "runtime/supervisor.hpp"
+#include "runtime/telemetry/telemetry.hpp"
 
 namespace raft {
 
@@ -209,6 +210,18 @@ void map::exe( const run_options &opts )
     std::vector<std::unique_ptr<fifo_base>> streams;
     streams.reserve( topo_.edges().size() );
     monitor mon( opts );
+    /** Telemetry session: constructed before the stream loop so its
+     *  registrations ride along, and declared after streams/mon so it is
+     *  destroyed first — stream gauges and the monitor-tick callback
+     *  never outlive what they sample, even on the unwind path.  The
+     *  constructor publishes the Prometheus port (bound_port_out) before
+     *  any kernel runs. **/
+    std::unique_ptr<telemetry::session> tele;
+    if( opts.telemetry.enabled )
+    {
+        tele = std::make_unique<telemetry::session>( opts.telemetry );
+    }
+    std::size_t stream_index = 0;
     for( auto &e : topo_.edges() )
     {
         port &out_p = e.src->output[ e.src_port ];
@@ -232,6 +245,12 @@ void map::exe( const run_options &opts )
             sup->watch_stream( stream.get(), e.src->name(),
                                e.dst->name() );
         }
+        if( tele != nullptr )
+        {
+            tele->watch_stream( stream.get(), e.src->name(),
+                                e.dst->name(), stream_index );
+        }
+        ++stream_index;
         streams.push_back( std::move( stream ) );
     }
     if( ctrl != nullptr )
@@ -247,6 +266,17 @@ void map::exe( const run_options &opts )
     if( sup != nullptr )
     {
         mon.attach_supervisor( sup.get() );
+    }
+    if( tele != nullptr )
+    {
+        for( kernel *k : topo_.kernels() )
+        {
+            tele->register_kernel( k );
+        }
+        tele->watch_callback(
+            "raft_monitor_ticks_total",
+            [ &mon ]() { return static_cast<double>( mon.ticks() ); },
+            "monitor delta ticks this run" );
     }
 
     /** 5. mapping **/
@@ -290,6 +320,21 @@ void map::exe( const run_options &opts )
         const double wall =
             std::chrono::duration<double>( t1 - t0 ).count();
         mon.collect( *opts.stats_out, wall );
+    }
+    if( tele != nullptr )
+    {
+        /** write artifacts and detach probes while streams are still
+         *  bound (close() is idempotent; the unique_ptr destructor is
+         *  only the unwind-path fallback) **/
+        runtime::perf_snapshot tele_snap;
+        const runtime::perf_snapshot *snap = nullptr;
+        if( !opts.telemetry.json_out.empty() )
+        {
+            mon.collect( tele_snap,
+                         std::chrono::duration<double>( t1 - t0 ).count() );
+            snap = &tele_snap;
+        }
+        tele->close( snap );
     }
     for( kernel *k : topo_.kernels() )
     {

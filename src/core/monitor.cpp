@@ -5,6 +5,8 @@
 #include "core/defs.hpp"
 #include "runtime/elastic/elastic.hpp"
 #include "runtime/supervisor.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
 
 namespace raft {
 
@@ -54,6 +56,10 @@ void monitor::stop()
 
 void monitor::loop()
 {
+    if( telemetry::tracing() )
+    {
+        telemetry::name_thread( "monitor" );
+    }
     while( running_.load( std::memory_order_acquire ) )
     {
         tick();
@@ -73,6 +79,27 @@ void monitor::tick()
         fifo_base &f   = *e.f;
         const auto sz  = f.size();
         const auto cap = f.capacity();
+
+        /** apply one capacity change and publish it to the telemetry
+         *  layer — resizes are rare, so interning the composed event
+         *  name here (cold path) is fine **/
+        const auto apply_resize = [ &e, &f ]( const std::size_t new_cap )
+        {
+            if( !f.resize( new_cap ) )
+            {
+                return;
+            }
+            if( telemetry::metrics_on() )
+            {
+                telemetry::fifo_resizes_total().add();
+            }
+            if( telemetry::tracing() )
+            {
+                telemetry::instant_str( "fifo_resize " + e.info.src_kernel +
+                                            "->" + e.info.dst_kernel,
+                                        telemetry::cat::monitor, new_cap );
+            }
+        };
 
         if( opts_.collect_stats )
         {
@@ -104,7 +131,7 @@ void monitor::tick()
         const auto req = f.resize_request();
         if( req > cap )
         {
-            f.resize( req );
+            apply_resize( req );
             continue;
         }
 
@@ -116,7 +143,7 @@ void monitor::tick()
         if( wbs != 0 && now - wbs >= 3 * delta_ns_ &&
             cap < opts_.max_queue_capacity && f.space_avail() == 0 )
         {
-            f.resize( std::min( cap * 2, opts_.max_queue_capacity ) );
+            apply_resize( std::min( cap * 2, opts_.max_queue_capacity ) );
             e.low_util_streak = 0;
             continue;
         }
@@ -131,7 +158,7 @@ void monitor::tick()
         {
             if( ++e.low_util_streak >= opts_.shrink_hysteresis )
             {
-                f.resize( cap / 2 );
+                apply_resize( cap / 2 );
                 e.low_util_streak = 0;
             }
         }

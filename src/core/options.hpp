@@ -17,6 +17,7 @@
 #include "core/restart.hpp"
 #include "mapping/machine.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/telemetry/options.hpp"
 
 namespace raft {
 
@@ -185,6 +186,12 @@ struct run_options
     /** @name fault tolerance (supervised execution & watchdog) */
     ///@{
     supervision_options supervision{};
+    ///@}
+
+    /** @name observability (runtime/telemetry/: tracer, metrics registry,
+     *  Prometheus / Chrome-trace exporters) */
+    ///@{
+    telemetry_options telemetry{};
     ///@}
 };
 

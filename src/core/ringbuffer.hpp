@@ -64,6 +64,7 @@
 
 #include "core/defs.hpp"
 #include "core/fifo.hpp"
+#include "runtime/telemetry/trace.hpp"
 
 namespace raft {
 
@@ -1106,9 +1107,24 @@ private:
             expected, detail::now_ns(), std::memory_order_relaxed );
     }
 
+    /** The load-then-conditional-store keeps the never-blocked hot path
+     *  at a single relaxed load; the unblock transition (cold — the
+     *  producer just finished waiting) additionally closes the
+     *  blocked-on-push tracer span when this stream is being traced. **/
     void clear_write_block() noexcept
     {
-        write_blocked_since_.store( 0, std::memory_order_relaxed );
+        const auto since =
+            write_blocked_since_.load( std::memory_order_relaxed );
+        if( since != 0 )
+        {
+            write_blocked_since_.store( 0, std::memory_order_relaxed );
+            if( telemetry::tracing() )
+            {
+                telemetry::span( this->telemetry_push_block(),
+                                 telemetry::cat::stream, since,
+                                 detail::now_ns() );
+            }
+        }
     }
 
     void note_read_block() noexcept
@@ -1120,7 +1136,18 @@ private:
 
     void clear_read_block() noexcept
     {
-        read_blocked_since_.store( 0, std::memory_order_relaxed );
+        const auto since =
+            read_blocked_since_.load( std::memory_order_relaxed );
+        if( since != 0 )
+        {
+            read_blocked_since_.store( 0, std::memory_order_relaxed );
+            if( telemetry::tracing() )
+            {
+                telemetry::span( this->telemetry_pop_block(),
+                                 telemetry::cat::stream, since,
+                                 detail::now_ns() );
+            }
+        }
     }
 
     static constexpr std::int64_t park_timeout_ns = 2'000'000; /** 2 ms **/

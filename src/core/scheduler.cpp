@@ -9,6 +9,8 @@
 #include "core/exceptions.hpp"
 #include "runtime/inject.hpp"
 #include "runtime/supervisor.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
 
 #if defined( __linux__ )
 #include <pthread.h>
@@ -57,6 +59,15 @@ void exec_context::cancel()
     if( cancelled.exchange( true, std::memory_order_acq_rel ) )
     {
         return;
+    }
+    if( telemetry::metrics_on() )
+    {
+        telemetry::graph_cancellations_total().add();
+    }
+    if( telemetry::tracing() )
+    {
+        telemetry::instant_str( "graph_cancel",
+                                telemetry::cat::scheduler );
     }
     if( kernels == nullptr )
     {
@@ -156,6 +167,16 @@ bool handle_kernel_failure( kernel &k, exec_context &ctx,
 
 void kernel_loop( kernel &k, exec_context &ctx )
 {
+    /** telemetry session attaches the probe before the scheduler starts;
+     *  untelemetered runs see a null pointer and none of the clock or
+     *  counter traffic below **/
+    auto *const probe = k.probe();
+    const auto life_start =
+        probe != nullptr ? now_ns() : std::int64_t{ 0 };
+    if( probe != nullptr && telemetry::tracing() )
+    {
+        telemetry::name_thread( k.name() );
+    }
     for( ;; ) /** restart loop (supervised runs re-enter here) **/
     {
         try
@@ -167,7 +188,24 @@ void kernel_loop( kernel &k, exec_context &ctx )
                     break;
                 }
                 runtime::inject::maybe_throw( "kernel.run", k.name() );
-                if( k.run() == raft::stop )
+                if( probe != nullptr )
+                {
+                    /** service-time accounting: runs, busy ns, and the
+                     *  per-invocation duration histogram feed the
+                     *  raft_kernel_* series (§4.1 service rates) **/
+                    const auto t0 = now_ns();
+                    const auto st = k.run();
+                    const auto dt =
+                        static_cast<std::uint64_t>( now_ns() - t0 );
+                    probe->busy_ns->add( dt );
+                    probe->runs->add( 1 );
+                    probe->run_hist->observe( dt );
+                    if( st == raft::stop )
+                    {
+                        break;
+                    }
+                }
+                else if( k.run() == raft::stop )
                 {
                     break;
                 }
@@ -205,6 +243,12 @@ void kernel_loop( kernel &k, exec_context &ctx )
         break;
     }
     close_kernel_streams( k );
+    if( probe != nullptr )
+    {
+        /** whole-lifetime span: run + blocked time on this thread **/
+        telemetry::span( probe->trace_name, telemetry::cat::kernel,
+                         life_start, now_ns() );
+    }
 }
 
 namespace {
@@ -319,6 +363,10 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
     const auto batch = std::max<std::size_t>( 1, opts.pool_batch_size );
 
     auto worker = [ & ]() {
+        if( telemetry::tracing() )
+        {
+            telemetry::name_thread( "pool_worker" );
+        }
         detail::backoff idle_backoff;
         while( done_count.load( std::memory_order_acquire ) < n )
         {
@@ -353,9 +401,16 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
                         /** batched dispatch: amortize scheduling cost
                          *  and keep the kernel's working set cache-hot
                          *  while it stays ready **/
+                        auto *const probe = k->probe();
+                        const auto batch_t0 =
+                            probe != nullptr ? detail::now_ns()
+                                             : std::int64_t{ 0 };
+                        std::size_t executed = 0;
                         for( std::size_t b = 0; b < batch; ++b )
                         {
-                            if( k->run() == raft::stop )
+                            const auto st = k->run();
+                            ++executed;
+                            if( st == raft::stop )
                             {
                                 finished = true;
                                 break;
@@ -363,6 +418,25 @@ void pool_scheduler::execute( const std::vector<kernel *> &kernels,
                             if( b + 1 < batch && !k->ready() )
                             {
                                 break;
+                            }
+                        }
+                        if( probe != nullptr && executed != 0 )
+                        {
+                            /** batch-granular accounting: one clock pair
+                             *  per dispatch, runs counted exactly **/
+                            const auto batch_t1 = detail::now_ns();
+                            const auto dt = static_cast<std::uint64_t>(
+                                batch_t1 - batch_t0 );
+                            probe->busy_ns->add( dt );
+                            probe->runs->add( executed );
+                            probe->run_hist->observe( dt / executed );
+                            if( telemetry::tracing() )
+                            {
+                                /** one span per dispatch — the pool's
+                                 *  scheduling quantum, not per run() **/
+                                telemetry::span( probe->trace_name,
+                                                 telemetry::cat::kernel,
+                                                 batch_t0, batch_t1 );
                             }
                         }
                     }

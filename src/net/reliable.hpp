@@ -42,6 +42,7 @@
 #include "net/codec.hpp"
 #include "net/socket.hpp"
 #include "runtime/inject.hpp"
+#include "runtime/telemetry/metrics.hpp"
 
 namespace raft::net {
 
@@ -105,6 +106,11 @@ private:
             return;
         }
         conn_ = tcp_connection::connect( host_, port_, copts_ );
+        if( ever_connected_ && telemetry::metrics_on() )
+        {
+            telemetry::net_reconnects_total().add();
+        }
+        ever_connected_        = true;
         std::uint64_t expected = 0;
         if( !conn_.recv_all( &expected, sizeof( expected ) ) )
         {
@@ -200,6 +206,7 @@ private:
             }
             wire_.clear();
             wire_.push_back( scalar_heartbeat_frame ); /** liveness **/
+            std::uint64_t frames = 0, replays = 0;
             for( const auto &e : replay_ )
             {
                 if( e.seq < sent_seq_ )
@@ -214,9 +221,27 @@ private:
                              sizeof( e.seq ) );
                 std::memcpy( &wire_[ base + 1 + sizeof( e.seq ) ],
                              &e.value, sizeof( T ) );
+                ++frames;
+                if( e.seq < high_water_ )
+                {
+                    ++replays; /** retransmission after a link loss **/
+                }
             }
             conn_.send_all( wire_.data(), wire_.size() );
             sent_seq_ = next_seq_;
+            if( next_seq_ > high_water_ )
+            {
+                high_water_ = next_seq_;
+            }
+            if( telemetry::metrics_on() )
+            {
+                /** batched per transmit: one fetch_add per counter **/
+                telemetry::net_frames_total().add( frames );
+                if( replays != 0 )
+                {
+                    telemetry::net_replayed_frames_total().add( replays );
+                }
+            }
         }
         catch( const net_exception & )
         {
@@ -279,6 +304,8 @@ private:
     std::uint64_t next_seq_{ 0 }; /**< next sequence to assign          */
     std::uint64_t sent_seq_{ 0 }; /**< next sequence to transmit        */
     std::uint64_t acked_{ 0 };    /**< receiver's cumulative ack        */
+    std::uint64_t high_water_{ 0 }; /**< highest seq ever transmitted   */
+    bool ever_connected_{ false };
 };
 
 /** Source kernel on the receiving node: reliable counterpart of
@@ -404,6 +431,10 @@ private:
             if( seq < expected_ )
             {
                 /** duplicate from a replay overlap: drop **/
+                if( telemetry::metrics_on() )
+                {
+                    telemetry::net_duplicate_frames_total().add();
+                }
                 off += data_frame;
                 continue;
             }

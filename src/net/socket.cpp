@@ -14,6 +14,7 @@
 
 #include "core/exceptions.hpp"
 #include "runtime/inject.hpp"
+#include "runtime/telemetry/metrics.hpp"
 
 namespace raft::net {
 
@@ -144,6 +145,10 @@ void tcp_connection::send_all( const void *data, const std::size_t n )
         }
         off += static_cast<std::size_t>( k );
     }
+    if( telemetry::metrics_on() && n != 0 )
+    {
+        telemetry::net_bytes_sent_total().add( n );
+    }
 }
 
 std::size_t tcp_connection::recv_some( void *data, const std::size_t n )
@@ -167,6 +172,11 @@ std::size_t tcp_connection::recv_some( void *data, const std::size_t n )
                 continue;
             }
             throw_errno( "recv" );
+        }
+        if( telemetry::metrics_on() )
+        {
+            telemetry::net_bytes_received_total().add(
+                static_cast<std::uint64_t>( k ) );
         }
         return static_cast<std::size_t>( k );
     }
@@ -193,6 +203,11 @@ std::ptrdiff_t tcp_connection::recv_nowait( void *data,
                 return 0; /** nothing buffered yet **/
             }
             throw_errno( "recv" );
+        }
+        if( telemetry::metrics_on() )
+        {
+            telemetry::net_bytes_received_total().add(
+                static_cast<std::uint64_t>( k ) );
         }
         return k;
     }
@@ -222,6 +237,10 @@ bool tcp_connection::recv_all( void *data, const std::size_t n )
             throw_errno( "recv" );
         }
         off += static_cast<std::size_t>( k );
+    }
+    if( telemetry::metrics_on() && n != 0 )
+    {
+        telemetry::net_bytes_received_total().add( n );
     }
     return true;
 }

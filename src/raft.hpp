@@ -48,3 +48,7 @@
 #include "runtime/inject.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/supervisor.hpp"
+#include "runtime/telemetry/exporters.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/telemetry.hpp"
+#include "runtime/telemetry/trace.hpp"

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
+
 namespace raft::elastic {
 
 namespace {
@@ -51,6 +54,14 @@ double lane_skew( const std::vector<double> &occ )
 }
 
 } /** end anonymous namespace **/
+
+controller::~controller()
+{
+    if( tele_owner_ != 0 )
+    {
+        telemetry::registry::instance().release( tele_owner_ );
+    }
+}
 
 controller::controller( const run_options &opts )
     : cfg_( opts.elastic ), dynamic_resize_( opts.dynamic_resize ),
@@ -115,6 +126,29 @@ void controller::add_group( const replica_group &g )
     gs.rep.min_active  = gs.min_active;
     gs.rep.max_active  = gs.max_active;
     gs.rep.peak_active = gs.active;
+
+    /** telemetry attachment — map::exe constructs the session before
+     *  add_group runs, so the switches tell us whether to export **/
+    if( telemetry::metrics_on() )
+    {
+        if( tele_owner_ == 0 )
+        {
+            tele_owner_ = telemetry::registry::instance().make_owner();
+        }
+        gs.active_gauge = &telemetry::registry::instance().get_gauge(
+            "raft_elastic_active_replicas",
+            { { "kernel", g.kernel_name } },
+            "replica lanes currently routed to by the split adapters",
+            tele_owner_ );
+        gs.active_gauge->set( static_cast<double>( gs.active ) );
+    }
+    if( telemetry::tracing() )
+    {
+        gs.trace_activate =
+            telemetry::intern( "replica_activate " + g.kernel_name );
+        gs.trace_quiesce =
+            telemetry::intern( "replica_quiesce " + g.kernel_name );
+    }
     groups_.push_back( std::move( gs ) );
 }
 
@@ -132,7 +166,12 @@ void controller::on_tick( const std::int64_t now_ns )
     /** δ-tick occupancy probes (one size/capacity load pair each) **/
     for( auto &g : groups_ )
     {
-        g.input_est.tick( g.input->size(), g.input->capacity() );
+        const auto isz  = g.input->size();
+        const auto icap = g.input->capacity();
+        g.input_est.tick( isz, icap );
+        g.input_hist.add( icap == 0 ? 0.0
+                                    : static_cast<double>( isz ) /
+                                          static_cast<double>( icap ) );
         for( auto &l : g.lanes )
         {
             l.est.tick( l.f->size(), l.f->capacity() );
@@ -195,6 +234,16 @@ void controller::control_window( const double dt_s )
         {
             ++predictive_resizes_;
             s.cooldown = 4; /** let the new capacity show effect **/
+            if( telemetry::metrics_on() )
+            {
+                telemetry::predictive_resizes_total().add();
+            }
+            if( telemetry::tracing() )
+            {
+                telemetry::instant_str( "predictive_resize " + s.src +
+                                            "->" + s.dst,
+                                        telemetry::cat::elastic, want );
+            }
         }
     }
 }
@@ -250,10 +299,26 @@ void controller::control_group( group_state &g, const double dt_s )
         if( delta > 0 )
         {
             ++g.rep.grows;
+            if( telemetry::metrics_on() )
+            {
+                telemetry::elastic_grows_total().add();
+            }
+            telemetry::instant( g.trace_activate, telemetry::cat::elastic,
+                                g.active );
         }
         else
         {
             ++g.rep.shrinks;
+            if( telemetry::metrics_on() )
+            {
+                telemetry::elastic_shrinks_total().add();
+            }
+            telemetry::instant( g.trace_quiesce, telemetry::cat::elastic,
+                                g.active );
+        }
+        if( g.active_gauge != nullptr )
+        {
+            g.active_gauge->set( static_cast<double>( g.active ) );
         }
         if( g.active > g.rep.peak_active )
         {
@@ -292,8 +357,10 @@ runtime::elastic_report controller::report() const
     r.predictive_resizes = predictive_resizes_;
     for( const auto &g : groups_ )
     {
-        auto rep         = g.rep;
-        rep.final_active = g.active;
+        auto rep                    = g.rep;
+        rep.final_active            = g.active;
+        rep.input_p50_utilization   = g.input_hist.p50();
+        rep.input_p95_utilization   = g.input_hist.p95();
         r.groups.push_back( std::move( rep ) );
     }
     return r;

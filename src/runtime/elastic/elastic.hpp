@@ -34,12 +34,19 @@
 #include "runtime/elastic/policy.hpp"
 #include "runtime/stats.hpp"
 
+namespace raft::telemetry {
+class gauge;
+} /** end namespace raft::telemetry **/
+
 namespace raft::elastic {
 
 class controller
 {
 public:
     explicit controller( const run_options &opts );
+
+    /** releases the controller's telemetry registrations (if any) **/
+    ~controller();
 
     controller( const controller & )            = delete;
     controller &operator=( const controller & ) = delete;
@@ -89,6 +96,15 @@ private:
         bool strict_routing{ false }; /**< current strategy is strict RR  */
 
         runtime::elastic_group_report rep;
+
+        /** input occupancy distribution over every δ probe — feeds the
+         *  report's input_p50/p95_utilization */
+        runtime::occupancy_histogram input_hist;
+
+        /** telemetry (null / 0 when no session is active at add_group) */
+        telemetry::gauge *active_gauge{ nullptr };
+        std::uint32_t trace_activate{ 0 };
+        std::uint32_t trace_quiesce{ 0 };
     };
 
     struct stream_state
@@ -122,6 +138,9 @@ private:
 
     std::uint64_t control_ticks_{ 0 };
     std::uint64_t predictive_resizes_{ 0 };
+
+    /** registry owner for the controller's gauges (0 = none made) */
+    std::uint64_t tele_owner_{ 0 };
 };
 
 } /** end namespace raft::elastic **/

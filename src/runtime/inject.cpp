@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
+
 namespace raft::runtime::inject {
 
 namespace {
@@ -152,11 +155,32 @@ std::uint64_t fired( const std::string &site )
 
 namespace detail {
 
+namespace {
+
+/** Telemetry hook for a fired plan — cold path, only reached when a
+ *  fault actually triggers. */
+void note_fired( const char *site, const std::string &det )
+{
+    if( telemetry::metrics_on() )
+    {
+        telemetry::inject_faults_total().add();
+    }
+    if( telemetry::tracing() )
+    {
+        telemetry::instant_str( "injected_fault " + std::string( site ) +
+                                    ( det.empty() ? "" : " " + det ),
+                                telemetry::cat::fault );
+    }
+}
+
+} /** end anonymous namespace **/
+
 void throw_site( const char *site, const std::string &det )
 {
     plan p;
     if( match( site, det, action::throw_error, &p ) )
     {
+        note_fired( site, det );
         throw injected_fault( p.message + " [site " + site +
                               ( det.empty() ? "" : ", " + det ) + "]" );
     }
@@ -167,13 +191,19 @@ void delay_site( const char *site, const std::string &det )
     plan p;
     if( match( site, det, action::delay, &p ) )
     {
+        note_fired( site, det );
         std::this_thread::sleep_for( p.delay );
     }
 }
 
 bool kill_site( const char *site, const std::string &det )
 {
-    return match( site, det, action::kill_link, nullptr );
+    if( match( site, det, action::kill_link, nullptr ) )
+    {
+        note_fired( site, det );
+        return true;
+    }
+    return false;
 }
 
 } /** end namespace detail **/

@@ -15,6 +15,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -111,6 +113,15 @@ public:
         return 1.0;
     }
 
+    /** Median occupancy fraction (bucket-resolution, see quantile()). */
+    double p50() const noexcept { return quantile( 0.50 ); }
+
+    /** 95th-percentile occupancy fraction. */
+    double p95() const noexcept { return quantile( 0.95 ); }
+
+    /** 99th-percentile occupancy fraction. */
+    double p99() const noexcept { return quantile( 0.99 ); }
+
 private:
     std::array<std::uint64_t, bucket_count> buckets_{};
     std::uint64_t total_{ 0 };
@@ -140,6 +151,18 @@ struct stream_stats
     double service_rate_hz{ 0.0 };     /**< pops per wall second           */
     double arrival_rate_hz{ 0.0 };     /**< pushes per wall second         */
     double throughput_bytes_per_s{ 0.0 };
+
+    /** Median occupancy fraction over the sampled run. */
+    double p50_utilization() const noexcept
+    {
+        return occupancy.p50();
+    }
+
+    /** 95th-percentile occupancy fraction over the sampled run. */
+    double p95_utilization() const noexcept
+    {
+        return occupancy.p95();
+    }
 
     /** 99th-percentile occupancy fraction over the sampled run. */
     double p99_utilization() const noexcept
@@ -215,7 +238,97 @@ struct perf_snapshot
         }
         return merged.quantile( 0.99 );
     }
+
+    /** Whole snapshot as JSON — the telemetry JSON writer (and anything
+     *  piping stats at a dashboard) goes through here instead of
+     *  hand-walking the structs. */
+    std::string to_json() const
+    {
+        std::ostringstream os;
+        os.precision( 17 );
+        const auto esc = []( const std::string &v )
+        {
+            std::string out;
+            for( const char c : v )
+            {
+                if( c == '"' || c == '\\' )
+                {
+                    out += '\\';
+                }
+                if( static_cast<unsigned char>( c ) < 0x20 )
+                {
+                    out += ' ';
+                    continue;
+                }
+                out += c;
+            }
+            return out;
+        };
+        os << "{\n  \"wall_seconds\": " << wall_seconds
+           << ",\n  \"monitor_ticks\": " << monitor_ticks
+           << ",\n  \"total_bytes_moved\": " << total_bytes_moved()
+           << ",\n  \"mean_utilization\": " << mean_utilization()
+           << ",\n  \"p99_utilization\": " << p99_utilization()
+           << ",\n  \"streams\": [";
+        bool first = true;
+        for( const auto &s : streams )
+        {
+            os << ( first ? "\n" : ",\n" ) << "    {\"src\": \""
+               << esc( s.src_kernel ) << "\", \"dst\": \""
+               << esc( s.dst_kernel ) << "\", \"src_port\": \""
+               << esc( s.src_port ) << "\", \"dst_port\": \""
+               << esc( s.dst_port ) << "\", \"type\": \""
+               << esc( s.type_name ) << "\","
+               << "\n     \"pushed\": " << s.pushed
+               << ", \"popped\": " << s.popped
+               << ", \"element_size\": " << s.element_size
+               << ", \"initial_capacity\": " << s.initial_capacity
+               << ", \"final_capacity\": " << s.final_capacity
+               << ", \"resize_count\": " << s.resize_count << ","
+               << "\n     \"samples\": " << s.samples
+               << ", \"mean_occupancy\": " << s.mean_occupancy
+               << ", \"mean_utilization\": " << s.mean_utilization
+               << ", \"p50_utilization\": " << s.p50_utilization()
+               << ", \"p95_utilization\": " << s.p95_utilization()
+               << ", \"p99_utilization\": " << s.p99_utilization() << ","
+               << "\n     \"service_rate_hz\": " << s.service_rate_hz
+               << ", \"arrival_rate_hz\": " << s.arrival_rate_hz
+               << ", \"throughput_bytes_per_s\": "
+               << s.throughput_bytes_per_s << ","
+               << "\n     \"occupancy_histogram\": [";
+            for( std::size_t i = 0;
+                 i < occupancy_histogram::bucket_count; ++i )
+            {
+                os << ( i == 0 ? "" : ", " ) << s.occupancy.bucket( i );
+            }
+            os << "]}";
+            first = false;
+        }
+        os << "\n  ]\n}";
+        return os.str();
+    }
 };
+
+/** Human-readable table: one line per stream plus run totals. */
+inline std::ostream &operator<<( std::ostream &os, const perf_snapshot &p )
+{
+    os << "perf_snapshot: wall " << p.wall_seconds << " s, "
+       << p.monitor_ticks << " monitor ticks, " << p.streams.size()
+       << " streams, mean util " << p.mean_utilization() << ", p99 util "
+       << p.p99_utilization() << "\n";
+    for( const auto &s : p.streams )
+    {
+        os << "  " << s.src_kernel << "[" << s.src_port << "] -> "
+           << s.dst_kernel << "[" << s.dst_port << "]: pushed " << s.pushed
+           << ", popped " << s.popped << ", cap " << s.initial_capacity
+           << "->" << s.final_capacity << " (" << s.resize_count
+           << " resizes), util mean " << s.mean_utilization << " p50 "
+           << s.p50_utilization() << " p95 " << s.p95_utilization()
+           << " p99 " << s.p99_utilization() << ", service "
+           << s.service_rate_hz << " Hz\n";
+    }
+    return os;
+}
 
 /** @name supervision report (runtime/supervisor.hpp) */
 ///@{
@@ -276,6 +389,12 @@ struct elastic_group_report
     double lambda_hz{ 0.0 };     /**< offered arrival rate                */
     double mu_hz{ 0.0 };         /**< non-blocking service rate / replica */
     double rho{ 0.0 };           /**< λ / (μ · active)                    */
+
+    /** Input-stream occupancy quantiles sampled at every control tick
+     *  (occupancy_histogram::p50/p95 — the distribution the thresholds
+     *  acted on, not just its mean). */
+    double input_p50_utilization{ 0.0 };
+    double input_p95_utilization{ 0.0 };
 
     /** Largest replica count the queueing model asked for over the run
      *  (windows with warmed-up estimates only) — directly comparable with

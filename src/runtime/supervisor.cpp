@@ -5,6 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
+
 namespace raft::runtime {
 
 supervisor::supervisor( const supervision_options &opts ) : opts_( opts ) {}
@@ -62,6 +65,16 @@ supervisor::verdict supervisor::on_failure( kernel &k,
          *  capped at max_backoff **/
         const auto n = s->restarts++;
         ++total_restarts_;
+        if( telemetry::metrics_on() )
+        {
+            telemetry::supervisor_restarts_total().add();
+        }
+        if( telemetry::tracing() )
+        {
+            telemetry::instant_str( "restart " + k.name(),
+                                    telemetry::cat::supervisor,
+                                    s->restarts );
+        }
         double ns = static_cast<double>( s->policy.initial_backoff.count() );
         for( std::size_t i = 0; i < n; ++i )
         {
@@ -174,6 +187,15 @@ void supervisor::on_tick( const std::int64_t now_ns )
         /** deadline blown with zero progress: one stall per quiet period **/
         stall_flagged_ = true;
         ++watchdog_stalls_;
+        if( telemetry::metrics_on() )
+        {
+            telemetry::watchdog_stalls_total().add();
+        }
+        if( telemetry::tracing() )
+        {
+            telemetry::instant_str( "watchdog_stall",
+                                    telemetry::cat::supervisor );
+        }
         last_stall_diagnostics_ = stall_diagnostics_locked( now_ns );
         if( !opts_.watchdog_abort || !canceller_ )
         {

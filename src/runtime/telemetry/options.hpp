@@ -1,0 +1,70 @@
+/**
+ * options.hpp - telemetry configuration embedded in raft::run_options
+ * (runtime/telemetry/).  Pure data: core/options.hpp includes this, so
+ * it must pull in nothing from core/.
+ **/
+#ifndef RAFT_RUNTIME_TELEMETRY_OPTIONS_HPP
+#define RAFT_RUNTIME_TELEMETRY_OPTIONS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace raft
+{
+namespace telemetry
+{
+
+/** filled at session close when telemetry_options::report_out is set **/
+struct telemetry_report
+{
+    std::uint64_t trace_events_recorded{ 0 };
+    std::uint64_t trace_events_dropped{ 0 };
+    std::uint64_t trace_threads{ 0 };
+    std::uint16_t prometheus_port{ 0 }; /** bound port, 0 = not served **/
+};
+
+} /** end namespace telemetry **/
+
+/** run_options::telemetry — everything defaults OFF; with
+ *  `enabled == false` no instrumentation site costs more than one
+ *  relaxed atomic load (guarded by bench/ab_telemetry). **/
+struct telemetry_options
+{
+    /** master switch: metrics registry wiring + per-kernel service-time
+     *  accounting + (with `trace`) the event tracer **/
+    bool enabled{ false };
+
+    /** record lifecycle/blocked/resize/restart events into per-thread
+     *  rings for Chrome trace export **/
+    bool trace{ true };
+
+    /** tracer ring capacity in events per thread (rounded up to a power
+     *  of two; 32 bytes per event) **/
+    std::size_t trace_ring_capacity{ 16384 };
+
+    /** write the Chrome trace_event JSON here at teardown ("" = don't);
+     *  load the file in chrome://tracing or https://ui.perfetto.dev **/
+    std::string trace_out{};
+
+    /** write a perf_snapshot JSON (perf_snapshot::to_json()) here at
+     *  teardown ("" = don't) **/
+    std::string json_out{};
+
+    /** serve Prometheus text exposition over src/net/socket for the
+     *  duration of exe(); `prometheus_port == 0` binds an ephemeral
+     *  loopback port **/
+    bool serve_prometheus{ false };
+    std::uint16_t prometheus_port{ 0 };
+
+    /** written with the bound endpoint port before kernels start, so a
+     *  scraper can attach to an ephemeral port mid-run **/
+    std::uint16_t *bound_port_out{ nullptr };
+
+    /** tracer/endpoint accounting out-param **/
+    telemetry::telemetry_report *report_out{ nullptr };
+};
+
+} /** end namespace raft **/
+
+#endif /** RAFT_RUNTIME_TELEMETRY_OPTIONS_HPP **/

@@ -1,0 +1,325 @@
+/**
+ * trace.cpp - tracer internals: per-thread rings, interning, JSON export.
+ **/
+#include "runtime/telemetry/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/defs.hpp"
+
+namespace raft
+{
+namespace telemetry
+{
+
+namespace
+{
+
+/** one single-producer ring.  The owning thread is the only writer of
+ *  `buf` slots and the only thread advancing `widx`; drainers read
+ *  `widx` with acquire and only touch slots below it. **/
+struct thread_ring
+{
+    explicit thread_ring( const std::size_t capacity, const std::uint32_t tid_arg )
+        : buf( capacity ), tid( tid_arg )
+    {
+    }
+
+    std::vector<event>           buf;
+    std::atomic<std::uint64_t>   widx{ 0 };
+    std::atomic<std::uint64_t>   drops{ 0 };
+    std::uint32_t                tid;
+    std::string                  thread_name; /** guarded by tracer mutex **/
+};
+
+struct tracer_state
+{
+    std::mutex                                 mutex;
+    std::vector<std::unique_ptr<thread_ring>>  rings;
+    std::vector<std::string>                   names;   /** id - 1 -> name **/
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::size_t                                capacity{ 16384 };
+    std::uint32_t                              next_tid{ 1 };
+    int                                        enable_count{ 0 };
+};
+
+tracer_state &state()
+{
+    static tracer_state s;
+    return s;
+}
+
+thread_local thread_ring *tls_ring = nullptr;
+
+/** cold path: first event from this thread — allocate + register a ring.
+ *  noexcept contract of the record path is kept by swallowing OOM. **/
+thread_ring *register_ring() noexcept
+{
+    try
+    {
+        auto &s = state();
+        std::lock_guard<std::mutex> guard( s.mutex );
+        auto ring = std::make_unique<thread_ring>( s.capacity, s.next_tid++ );
+        tls_ring  = ring.get();
+        s.rings.emplace_back( std::move( ring ) );
+        return tls_ring;
+    }
+    catch( ... )
+    {
+        return nullptr;
+    }
+}
+
+void record( const event &ev ) noexcept
+{
+    auto *ring = tls_ring;
+    if( ring == nullptr )
+    {
+        ring = register_ring();
+        if( ring == nullptr )
+        {
+            return;
+        }
+    }
+    const auto w = ring->widx.load( std::memory_order_relaxed );
+    if( w >= ring->buf.size() )
+    {
+        /** drop-newest: never block or reallocate on the hot path **/
+        ring->drops.fetch_add( 1, std::memory_order_relaxed );
+        return;
+    }
+    ring->buf[ w ] = ev;
+    /** release publishes the slot to any concurrent drainer **/
+    ring->widx.store( w + 1, std::memory_order_release );
+}
+
+const char *cat_name( const std::uint8_t c ) noexcept
+{
+    switch( static_cast<cat>( c ) )
+    {
+        case cat::kernel:     return "kernel";
+        case cat::stream:     return "stream";
+        case cat::monitor:    return "monitor";
+        case cat::elastic:    return "elastic";
+        case cat::supervisor: return "supervisor";
+        case cat::net:        return "net";
+        case cat::fault:      return "fault";
+        case cat::scheduler:  return "scheduler";
+    }
+    return "other";
+}
+
+void json_escape( std::ostream &os, const std::string &s )
+{
+    for( const char c : s )
+    {
+        switch( c )
+        {
+            case '"':  os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n";  break;
+            case '\r': os << "\\r";  break;
+            case '\t': os << "\\t";  break;
+            default:
+                if( static_cast<unsigned char>( c ) < 0x20 )
+                {
+                    char hex[ 8 ];
+                    std::snprintf( hex, sizeof( hex ), "\\u%04x",
+                                   static_cast<unsigned>( c ) );
+                    os << hex;
+                }
+                else
+                {
+                    os << c;
+                }
+        }
+    }
+}
+
+} /** end anonymous namespace **/
+
+std::uint32_t intern( const std::string &name )
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    const auto it = s.ids.find( name );
+    if( it != s.ids.end() )
+    {
+        return it->second;
+    }
+    s.names.push_back( name );
+    const auto id = static_cast<std::uint32_t>( s.names.size() );
+    s.ids.emplace( name, id );
+    return id;
+}
+
+void span( const std::uint32_t name, const cat c, const std::int64_t start_ns,
+           const std::int64_t end_ns, const std::uint64_t value ) noexcept
+{
+    if( name == 0 || !tracing() )
+    {
+        return;
+    }
+    record( event{ start_ns,
+                   end_ns >= start_ns ? end_ns - start_ns : 0,
+                   name, static_cast<std::uint8_t>( c ), 0, 0, value } );
+}
+
+void instant( const std::uint32_t name, const cat c,
+              const std::uint64_t value ) noexcept
+{
+    if( name == 0 || !tracing() )
+    {
+        return;
+    }
+    record( event{ raft::detail::now_ns(), -1, name,
+                   static_cast<std::uint8_t>( c ), 0, 0, value } );
+}
+
+void instant_str( const std::string &name, const cat c,
+                  const std::uint64_t value )
+{
+    if( !tracing() )
+    {
+        return;
+    }
+    instant( intern( name ), c, value );
+}
+
+void name_thread( const std::string &name )
+{
+    auto *ring = tls_ring;
+    if( ring == nullptr )
+    {
+        ring = register_ring();
+        if( ring == nullptr )
+        {
+            return;
+        }
+    }
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    ring->thread_name = name;
+}
+
+void trace_enable( const std::size_t ring_capacity )
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    if( s.enable_count++ == 0 )
+    {
+        s.capacity = ring_capacity == 0 ? 16384
+                                        : raft::detail::pow2_ceil( ring_capacity );
+        /** fresh session: reset every ring to the new capacity.  Callers
+         *  guarantee no thread is mid-record here (sessions enable before
+         *  the graph starts and disable after its threads join). **/
+        for( auto &ring : s.rings )
+        {
+            ring->buf.assign( s.capacity, event{} );
+            ring->widx.store( 0, std::memory_order_relaxed );
+            ring->drops.store( 0, std::memory_order_relaxed );
+        }
+    }
+    detail::trace_active.store( true, std::memory_order_relaxed );
+}
+
+void trace_disable()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    if( s.enable_count > 0 && --s.enable_count == 0 )
+    {
+        detail::trace_active.store( false, std::memory_order_relaxed );
+    }
+}
+
+trace_stats trace_counters()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    trace_stats out;
+    for( auto &ring : s.rings )
+    {
+        const auto w = ring->widx.load( std::memory_order_acquire );
+        out.recorded += ( w < ring->buf.size() ? w : ring->buf.size() );
+        out.dropped  += ring->drops.load( std::memory_order_relaxed );
+    }
+    out.threads = s.rings.size();
+    return out;
+}
+
+void write_trace_json( std::ostream &os )
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> guard( s.mutex );
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    const auto emit_comma = [ & ]()
+    {
+        if( !first )
+        {
+            os << ",";
+        }
+        first = false;
+        os << "\n";
+    };
+    for( const auto &ring : s.rings )
+    {
+        if( !ring->thread_name.empty() )
+        {
+            emit_comma();
+            os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               << "\"tid\": " << ring->tid << ", \"args\": {\"name\": \"";
+            json_escape( os, ring->thread_name );
+            os << "\"}}";
+        }
+        const auto w = ring->widx.load( std::memory_order_acquire );
+        const auto n = w < ring->buf.size() ? w : ring->buf.size();
+        for( std::uint64_t i = 0; i < n; ++i )
+        {
+            const auto &ev = ring->buf[ i ];
+            if( ev.name == 0 || ev.name > s.names.size() )
+            {
+                continue;
+            }
+            emit_comma();
+            char ts[ 64 ];
+            std::snprintf( ts, sizeof( ts ), "%.3f",
+                           static_cast<double>( ev.ts_ns ) / 1e3 );
+            os << "{\"name\": \"";
+            json_escape( os, s.names[ ev.name - 1 ] );
+            os << "\", \"cat\": \"" << cat_name( ev.category )
+               << "\", \"pid\": 1, \"tid\": " << ring->tid
+               << ", \"ts\": " << ts;
+            if( ev.dur_ns >= 0 )
+            {
+                char dur[ 64 ];
+                std::snprintf( dur, sizeof( dur ), "%.3f",
+                               static_cast<double>( ev.dur_ns ) / 1e3 );
+                os << ", \"ph\": \"X\", \"dur\": " << dur;
+            }
+            else
+            {
+                os << ", \"ph\": \"i\", \"s\": \"t\"";
+            }
+            os << ", \"args\": {\"value\": " << ev.value << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+std::string trace_to_json()
+{
+    std::ostringstream os;
+    write_trace_json( os );
+    return os.str();
+}
+
+} /** end namespace telemetry **/
+} /** end namespace raft **/

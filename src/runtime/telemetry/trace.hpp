@@ -1,0 +1,121 @@
+/**
+ * trace.hpp - lock-free runtime event tracer (runtime/telemetry/).
+ *
+ * The paper's §4.1 calls for "low-impact instrumentation" of a running
+ * stream graph; this tracer is the event half of that promise.  Each
+ * recording thread owns a private single-producer ring of fixed-size
+ * 32-byte POD events — recording is a handful of relaxed stores plus one
+ * release store of the write index, no locks, no allocation.  Rings are
+ * registered once per thread (cold, mutex-guarded) and are only drained
+ * after the graph's threads have quiesced, so the collector never races
+ * a producer for the same slot.
+ *
+ * When tracing is disabled every instrumentation site costs exactly one
+ * relaxed atomic load (the same discipline runtime/inject.hpp
+ * established for fault-injection sites).  When a ring fills, new events
+ * are dropped and counted — recording never blocks the graph.
+ *
+ * Events reference interned string ids rather than pointers so the ring
+ * stays POD; hot sites intern at setup time (session registration), cold
+ * sites (restarts, resizes) may intern at record time.  Export renders
+ * Chrome `trace_event` JSON loadable in chrome://tracing or Perfetto.
+ **/
+#ifndef RAFT_RUNTIME_TELEMETRY_TRACE_HPP
+#define RAFT_RUNTIME_TELEMETRY_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace raft
+{
+namespace telemetry
+{
+
+/** event categories — rendered as the Chrome "cat" field so Perfetto
+ *  can filter kernel spans from, say, supervisor instants. **/
+enum class cat : std::uint8_t
+{
+    kernel     = 0, /** kernel lifecycle / run spans          **/
+    stream     = 1, /** blocked-on-push / blocked-on-pop      **/
+    monitor    = 2, /** FIFO resizes, monitor lifecycle       **/
+    elastic    = 3, /** replica activate / quiesce decisions  **/
+    supervisor = 4, /** restarts, watchdog stalls             **/
+    net        = 5, /** reconnects, replays                   **/
+    fault      = 6, /** injected faults                       **/
+    scheduler  = 7  /** graph-wide cancellation               **/
+};
+
+/** one ring slot: 32 bytes, trivially copyable. `dur_ns == -1` marks an
+ *  instant event; anything >= 0 is a complete span. **/
+struct event
+{
+    std::int64_t  ts_ns;    /** start timestamp, detail::now_ns()      **/
+    std::int64_t  dur_ns;   /** span duration, or -1 for an instant    **/
+    std::uint32_t name;     /** interned string id (0 = unnamed, skip) **/
+    std::uint8_t  category; /** enum cat                               **/
+    std::uint8_t  pad8_{ 0 };
+    std::uint16_t pad16_{ 0 };
+    std::uint64_t value;    /** free payload (count, capacity, ...)    **/
+};
+
+static_assert( sizeof( event ) == 32, "trace event must stay one half cacheline" );
+
+namespace detail
+{
+/** master switch — every disabled site is exactly this relaxed load **/
+inline std::atomic<bool> trace_active{ false };
+} /** end namespace detail **/
+
+/** true while at least one telemetry session has tracing enabled **/
+inline bool tracing() noexcept
+{
+    return detail::trace_active.load( std::memory_order_relaxed );
+}
+
+/** intern a name, returning a stable nonzero id (cold path: mutex).
+ *  Repeated interning of the same string returns the same id. **/
+std::uint32_t intern( const std::string &name );
+
+/** record a complete span [start_ns, end_ns] (no-op when name == 0) **/
+void span( std::uint32_t name, cat c, std::int64_t start_ns,
+           std::int64_t end_ns, std::uint64_t value = 0 ) noexcept;
+
+/** record an instant event stamped now (no-op when name == 0) **/
+void instant( std::uint32_t name, cat c, std::uint64_t value = 0 ) noexcept;
+
+/** cold-path convenience: intern + instant in one call **/
+void instant_str( const std::string &name, cat c, std::uint64_t value = 0 );
+
+/** label the calling thread's track in the exported trace **/
+void name_thread( const std::string &name );
+
+/** enable / disable are refcounted so overlapping sessions compose;
+ *  the first enable clears all rings and applies `ring_capacity`
+ *  (events per thread, rounded up to a power of two). **/
+void trace_enable( std::size_t ring_capacity );
+void trace_disable();
+
+struct trace_stats
+{
+    std::uint64_t recorded{ 0 };
+    std::uint64_t dropped{ 0 };
+    std::uint64_t threads{ 0 };
+};
+
+/** aggregate recorded/dropped accounting across all rings **/
+trace_stats trace_counters();
+
+/** render everything recorded so far as Chrome trace_event JSON
+ *  ({"traceEvents": [...]}).  Safe to call while recording continues —
+ *  only slots published before the call are read. **/
+void write_trace_json( std::ostream &os );
+
+/** write_trace_json to a string (test / snapshot convenience) **/
+std::string trace_to_json();
+
+} /** end namespace telemetry **/
+} /** end namespace raft **/
+
+#endif /** RAFT_RUNTIME_TELEMETRY_TRACE_HPP **/
