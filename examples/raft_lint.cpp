@@ -1,0 +1,317 @@
+/**
+ * raft_lint — run the raft::analyze graph linter over a topology without
+ * executing it.
+ *
+ * The built-in demo graphs cover the diagnostic catalogue (docs/API.md
+ * "Static analysis & lint"): one healthy pipeline and one seeded instance
+ * of each flagship hazard. In a real project the same three lines —
+ * assemble a raft::map, call raft::analyze, render the report — lint any
+ * graph before deployment; the demos exist so the linter can be exercised
+ * (and its JSON schema consumed) with no application code at all.
+ *
+ *   $ ./example_raft_lint --list
+ *   $ ./example_raft_lint --graph deadlock-cycle
+ *   $ ./example_raft_lint --graph all --json > lint.json
+ *   $ ./example_raft_lint --selftest   # CI: expected diagnostics fire
+ *
+ * Exit status (lint-style): 0 when every analyzed graph is free of
+ * error-severity diagnostics, 1 otherwise, 2 on usage errors.
+ */
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <raft.hpp>
+
+namespace {
+
+/** pass-through with one in / one out port — building block for cycles */
+class relay : public raft::kernel
+{
+public:
+    relay()
+    {
+        input.addPort<int>( "in" );
+        output.addPort<int>( "out" );
+    }
+    raft::kstatus run() override { return raft::stop; }
+};
+
+/** clonable (replication candidate) but order-sensitive — exactly the
+ *  combination auto-parallelization must not replicate */
+class stamped_worker : public raft::kernel
+{
+public:
+    stamped_worker()
+    {
+        input.addPort<int>( "in" );
+        output.addPort<int>( "out" );
+    }
+    raft::kstatus run() override
+    {
+        int v = 0;
+        input[ "in" ].pop( v );
+        output[ "out" ].push( v );
+        return raft::proceed;
+    }
+    bool clone_supported() const override { return true; }
+    raft::kernel *clone() const override
+    {
+        return raft::kernel::make<stamped_worker>();
+    }
+    bool order_sensitive() const override { return true; }
+};
+
+struct demo
+{
+    const char *name;
+    const char *blurb;
+    /** expected flagship diagnostic id; "" = the graph must be clean */
+    const char *expect;
+    std::function<void( raft::map &, raft::run_options & )> build;
+};
+
+/** scratch sinks for write_each demos (never executed, only analyzed) */
+std::vector<int> g_int_sink;
+std::vector<std::int64_t> g_i64_sink;
+
+const std::vector<demo> &demos()
+{
+    using i64 = std::int64_t;
+    static const std::vector<demo> d = {
+        { "quickstart",
+          "the paper's Figure-3 sum pipeline — analysis must stay silent",
+          "",
+          []( raft::map &m, raft::run_options & )
+          {
+              auto linked = m.link(
+                  raft::kernel::make<raft::generate<i64>>( 16 ),
+                  raft::kernel::make<raft::sum<i64, i64, i64>>(),
+                  "input_a" );
+              m.link( raft::kernel::make<raft::generate<i64>>( 16 ),
+                      &( linked.dst ), "input_b" );
+              m.link( &( linked.dst ),
+                      raft::kernel::make<raft::write_each<i64>>(
+                          std::back_inserter( g_i64_sink ) ) );
+          } },
+        { "deadlock-cycle",
+          "two-kernel cycle over fixed-capacity FIFOs (dynamic_resize off)",
+          "deadlock-cycle",
+          []( raft::map &m, raft::run_options &o )
+          {
+              auto *a = raft::kernel::make<relay>();
+              auto *b = raft::kernel::make<relay>();
+              m.link( a, "out", b, "in" );
+              m.link( b, "out", a, "in" );
+              o.dynamic_resize         = false;
+              o.initial_queue_capacity = 4;
+          } },
+        { "unconnected",
+          "sum kernel with input_b never linked — would block forever",
+          "unconnected-port",
+          []( raft::map &m, raft::run_options & )
+          {
+              auto *s = raft::kernel::make<raft::sum<i64, i64, i64>>();
+              m.link( raft::kernel::make<raft::generate<i64>>( 8 ), s,
+                      "input_a" );
+              m.link( s, raft::kernel::make<raft::print<i64>>() );
+          } },
+        { "lossy",
+          "double stream into an int sink — fractional values truncated",
+          "lossy-conversion",
+          []( raft::map &m, raft::run_options & )
+          {
+              m.link( raft::kernel::make<raft::generate<double>>(
+                          8, []( std::size_t i )
+                          { return static_cast<double>( i ) + 0.5; } ),
+                      raft::kernel::make<raft::write_each<int>>(
+                          std::back_inserter( g_int_sink ) ) );
+          } },
+        { "ooo-replica",
+          "order-sensitive kernel on out-of-order (replicable) lanes",
+          "ooo-unsafe-replica-lane",
+          []( raft::map &m, raft::run_options & )
+          {
+              auto *w = raft::kernel::make<stamped_worker>();
+              m.link<raft::out>(
+                  raft::kernel::make<raft::generate<int>>(
+                      8, []( std::size_t i )
+                      { return static_cast<int>( i ); } ),
+                  w, "in" );
+              m.link<raft::out>( w,
+                                 raft::kernel::make<raft::write_each<int>>(
+                                     std::back_inserter( g_int_sink ) ) );
+          } },
+        { "restart-no-reset",
+          "restart policy on kernels without a state-reset hook",
+          "restart-no-reset",
+          []( raft::map &m, raft::run_options &o )
+          {
+              auto *w = raft::kernel::make<stamped_worker>();
+              m.link( raft::kernel::make<raft::generate<int>>(
+                          8, []( std::size_t i )
+                          { return static_cast<int>( i ); } ),
+                      w, "in" );
+              m.link( w, raft::kernel::make<raft::write_each<int>>(
+                             std::back_inserter( g_int_sink ) ) );
+              o.enable_auto_parallel = false;
+              o.supervision.enabled  = true;
+              o.supervision.default_restart.max_restarts = 2;
+          } },
+    };
+    return d;
+}
+
+const demo *find_demo( const std::string &name )
+{
+    for( const auto &d : demos() )
+    {
+        if( name == d.name )
+        {
+            return &d;
+        }
+    }
+    return nullptr;
+}
+
+raft::analysis::report analyze_demo( const demo &d )
+{
+    raft::map m;
+    raft::run_options o;
+    d.build( m, o );
+    return raft::analyze( m, o );
+}
+
+int usage( std::ostream &os, const int code )
+{
+    os << "usage: raft_lint [--graph NAME|all] [--json] [--list] "
+          "[--selftest]\n"
+          "  --graph NAME  analyze one demo graph (default: all)\n"
+          "  --json        emit the machine-readable report(s)\n"
+          "  --list        list the demo graphs\n"
+          "  --selftest    verify every expected diagnostic fires\n";
+    return code;
+}
+
+bool has_diag( const raft::analysis::report &r, const std::string &id )
+{
+    for( const auto &diag : r.diagnostics )
+    {
+        if( diag.id == id )
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+int selftest()
+{
+    int failures = 0;
+    for( const auto &d : demos() )
+    {
+        const auto rep = analyze_demo( d );
+        const bool pass = ( d.expect[ 0 ] == '\0' )
+                              ? rep.clean()
+                              : has_diag( rep, d.expect );
+        std::cout << ( pass ? "ok   " : "FAIL " ) << d.name << " (expect "
+                  << ( d.expect[ 0 ] ? d.expect : "clean" ) << ")\n";
+        if( !pass )
+        {
+            std::cout << rep.to_string() << '\n';
+            ++failures;
+        }
+    }
+    std::cout << ( failures ? "selftest FAILED\n" : "selftest passed\n" );
+    return failures ? 1 : 0;
+}
+
+} /** end anonymous namespace **/
+
+int main( int argc, char **argv )
+{
+    std::string graph = "all";
+    bool json         = false;
+    for( int i = 1; i < argc; ++i )
+    {
+        const std::string a( argv[ i ] );
+        if( a == "--list" )
+        {
+            for( const auto &d : demos() )
+            {
+                std::cout << d.name << " — " << d.blurb << '\n';
+            }
+            return 0;
+        }
+        if( a == "--selftest" )
+        {
+            return selftest();
+        }
+        if( a == "--json" )
+        {
+            json = true;
+        }
+        else if( a == "--graph" && i + 1 < argc )
+        {
+            graph = argv[ ++i ];
+        }
+        else if( a == "--help" || a == "-h" )
+        {
+            return usage( std::cout, 0 );
+        }
+        else
+        {
+            std::cerr << "raft_lint: unknown argument '" << a << "'\n";
+            return usage( std::cerr, 2 );
+        }
+    }
+
+    std::vector<const demo *> selected;
+    if( graph == "all" )
+    {
+        for( const auto &d : demos() )
+        {
+            selected.push_back( &d );
+        }
+    }
+    else if( const auto *d = find_demo( graph ) )
+    {
+        selected.push_back( d );
+    }
+    else
+    {
+        std::cerr << "raft_lint: no demo graph named '" << graph
+                  << "' (try --list)\n";
+        return 2;
+    }
+
+    bool any_errors = false;
+    if( json )
+    {
+        /** one array entry per graph, each wrapping the report document */
+        std::cout << "[\n";
+        for( std::size_t i = 0; i < selected.size(); ++i )
+        {
+            const auto rep = analyze_demo( *selected[ i ] );
+            any_errors     = any_errors || !rep.ok();
+            std::cout << "  { \"graph\": \"" << selected[ i ]->name
+                      << "\", \"report\": " << rep.to_json() << " }"
+                      << ( i + 1 < selected.size() ? "," : "" ) << '\n';
+        }
+        std::cout << "]\n";
+    }
+    else
+    {
+        for( const auto *d : selected )
+        {
+            const auto rep = analyze_demo( *d );
+            any_errors     = any_errors || !rep.ok();
+            std::cout << "== " << d->name << " ==\n"
+                      << rep.to_string() << "\n\n";
+        }
+    }
+    return any_errors ? 1 : 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * analysis.hpp — raft::analyze: the whole-graph static linter.
+ *
+ * The paper sells RaftLib on compile-time-checked typed streams; this layer
+ * extends the guarantee to whole-graph safety properties that the type
+ * system cannot see, in the spirit of Parameterized Dataflow's statically
+ * checkable network properties. analyze() walks an assembled topology
+ * (before any rewrite) plus the run_options it would execute under and
+ * produces severity-ranked diagnostics:
+ *
+ *   error   — the graph cannot run safely (unconnected ports, deadlock-
+ *             prone cycles over finite FIFOs, order-sensitive kernels that
+ *             auto-parallelization would replicate, contradictory elastic
+ *             bounds, non-convertible link types);
+ *   warning — the graph runs but a latent hazard exists (lossy arithmetic
+ *             conversion at a link, restart policy without a state-reset
+ *             hook, deadlock-prone cycle that dynamic resizing can defer
+ *             but not eliminate, watchdog tighter than the monitor δ);
+ *   note    — advisory (auto-parallelization disabled for an otherwise
+ *             replication-ready order-sensitive kernel, inert restart
+ *             policies, an elastic run with nothing to actuate).
+ *
+ * map::exe() runs the linter fail-fast on errors by default (opt out via
+ * run_options::analysis); examples/raft_lint.cpp analyzes graphs without
+ * executing them. Reports render as human text (to_string) and as a
+ * stable JSON document (to_json; schema in docs/API.md).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/options.hpp"
+
+namespace raft {
+
+class map;
+
+namespace analysis {
+
+enum class severity : int
+{
+    error   = 0,
+    warning = 1,
+    note    = 2
+};
+
+const char *severity_name( severity s ) noexcept;
+
+/**
+ * One finding. `id` is the stable kebab-case diagnostic identifier from the
+ * catalogue (docs/API.md "Static analysis & lint"); `kernel` / `port` name
+ * the primary site when one exists.
+ */
+struct diagnostic
+{
+    severity sev{ severity::note };
+    std::string id;
+    std::string kernel;
+    std::string port;
+    std::string message;
+
+    /** "[error] deadlock-cycle at k.out: ..." */
+    std::string to_string() const;
+};
+
+/**
+ * The full result of one analyze() pass, diagnostics ranked most severe
+ * first (stable within a severity class: discovery order).
+ */
+struct report
+{
+    std::vector<diagnostic> diagnostics;
+
+    std::size_t errors() const noexcept { return count( severity::error ); }
+    std::size_t warnings() const noexcept
+    {
+        return count( severity::warning );
+    }
+    std::size_t notes() const noexcept { return count( severity::note ); }
+
+    /** No error-severity diagnostics. */
+    bool ok() const noexcept { return errors() == 0; }
+    /** Nothing at all to report. */
+    bool clean() const noexcept { return diagnostics.empty(); }
+
+    /** Human-readable multi-line rendering (one line per diagnostic plus a
+     *  summary line); "analysis clean" when empty. */
+    std::string to_string() const;
+
+    /** Stable JSON document:
+     *  { "version": 1,
+     *    "summary": { "errors": E, "warnings": W, "notes": N },
+     *    "diagnostics": [ { "severity": "...", "id": "...",
+     *                       "kernel": "...", "port": "...",
+     *                       "message": "..." }, ... ] } */
+    std::string to_json() const;
+
+private:
+    std::size_t count( severity s ) const noexcept
+    {
+        std::size_t n = 0;
+        for( const auto &d : diagnostics )
+        {
+            n += ( d.sev == s ) ? 1 : 0;
+        }
+        return n;
+    }
+};
+
+/**
+ * Analyze a topology against the options it would run under (capacity
+ * model, auto-parallelization, elastic/supervision configuration all shape
+ * the diagnostics). The topology is inspected as-is — call before any
+ * rewrite to see the graph the user assembled.
+ */
+report analyze( const topology &topo, const run_options &opts = {} );
+
+} /** end namespace analysis **/
+
+/** Convenience overload over an assembled (not yet executed) map. */
+analysis::report analyze( const map &m, const run_options &opts = {} );
+
+} /** end namespace raft **/

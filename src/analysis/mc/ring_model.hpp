@@ -1,0 +1,409 @@
+/**
+ * ring_model.hpp — the core ring buffer's lock-free protocol,
+ * re-instantiated over mc::atomic so mc::explore() can model-check it.
+ *
+ * This mirrors src/core/ringbuffer.hpp operation for operation:
+ *
+ *   - monotonic head_/tail_ counters, release publication, relaxed reads
+ *     of the own end;
+ *   - shadow-index caching: each end keeps a plain cached copy of the
+ *     opposite counter and re-reads the real one only when the cache
+ *     implies full/empty;
+ *   - the Dekker resize handshake: an end announces itself with a seq_cst
+ *     store to prod_op_/cons_op_ and then seq_cst-loads gate_; the monitor
+ *     seq_cst-stores gate_ and waits for both op flags to clear. Elements
+ *     are relocated unwrapped to index 0, the shadow caches are re-seeded
+ *     while the ends are parked, and gate_ is released;
+ *   - abort() poisons the stream; the flag is checked only on blocked
+ *     paths, and *before* the drained (write_closed + empty) check, so a
+ *     cancelled graph can never be mistaken for a cleanly drained one.
+ *
+ * Differences from the real thing are strictly reductions: int elements,
+ * power-of-two capacities up to max_cap, no signals/telemetry/timeout (the
+ * model monitor parks on a retry_guard instead of a bounded spin — the
+ * checker's deadlock detector replaces the timeout).
+ *
+ * Two knobs re-introduce real bugs for the checker to catch:
+ *
+ *   broken_dekker      — the handshake's seq_cst store/load pair weakens
+ *                        to release/acquire. Under bounded store
+ *                        reordering (options.store_buffer >= 1) the end's
+ *                        announcement can sit in its store buffer while it
+ *                        reads gate_ == false, so end and monitor enter
+ *                        the critical section together and elements are
+ *                        lost or duplicated during relocation.
+ *   broken_abort_order — try_pop checks drained before aborted. An
+ *                        execution where abort() lands before close_write()
+ *                        can then return EOS to a consumer that should
+ *                        have observed the cancellation.
+ */
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "analysis/mc/mc.hpp"
+
+namespace raft {
+namespace mc {
+
+struct ring_opts
+{
+    bool broken_dekker{ false };
+    bool broken_abort_order{ false };
+};
+
+class model_ring
+{
+public:
+    static constexpr unsigned max_cap = 8;
+
+    enum class pop_status : std::uint8_t
+    {
+        got,
+        empty,
+        eos,
+        aborted
+    };
+
+    explicit model_ring( const ring_opts o = {} )
+        : o_( o ), head_( 0U, "head" ), tail_( 0U, "tail" ),
+          capacity_( 2U, "capacity" ), mask_( 1U, "mask" ),
+          gate_( false, "gate" ), prod_op_( false, "prod_op" ),
+          cons_op_( false, "cons_op" ),
+          write_closed_( false, "write_closed" ),
+          aborted_( false, "aborted" )
+    {
+        for( auto &d : data_ )
+        {
+            d.set_name( "slot" );
+        }
+    }
+
+    /** between-executions reset (called from explore()'s reset closure) */
+    void reset( const unsigned cap )
+    {
+        head_.raw_reset( 0U );
+        tail_.raw_reset( 0U );
+        capacity_.raw_reset( cap );
+        mask_.raw_reset( cap - 1U );
+        for( auto &d : data_ )
+        {
+            d.raw_reset( 0 );
+        }
+        gate_.raw_reset( false );
+        prod_op_.raw_reset( false );
+        cons_op_.raw_reset( false );
+        write_closed_.raw_reset( false );
+        aborted_.raw_reset( false );
+        cached_head_ = 0U;
+        cached_tail_ = 0U;
+    }
+
+    /** seed a (possibly wrapped) occupancy from a reset closure: `h` is
+     *  the head index, `vals` the FIFO contents oldest-first. Call after
+     *  reset(); the shadow caches are seeded to match. */
+    void raw_seed( const unsigned h, const std::vector<int> &vals )
+    {
+        const auto m = mask_.raw_get();
+        const auto n = static_cast<unsigned>( vals.size() );
+        head_.raw_reset( h );
+        tail_.raw_reset( h + n );
+        for( unsigned i = 0U; i < n; ++i )
+        {
+            data_[ ( h + i ) & m ].raw_reset( vals[ i ] );
+        }
+        cached_head_ = h;
+        cached_tail_ = h + n;
+    }
+
+    /** seed lifecycle flags as already-committed (reset closures only) */
+    void raw_set_flags( const bool aborted, const bool write_closed )
+    {
+        aborted_.raw_reset( aborted );
+        write_closed_.raw_reset( write_closed );
+    }
+
+    /** @name producer end */
+    ///@{
+    bool try_push( const int v )
+    {
+        enter_prod();
+        const auto t   = tail_.load( std::memory_order_relaxed );
+        const auto cap = capacity_.load( std::memory_order_relaxed );
+        const auto h   = prod_head( t, cap );
+        bool ok        = false;
+        if( t - h < cap )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            data_[ t & m ].store( v, std::memory_order_relaxed );
+            tail_.store( t + 1U, std::memory_order_release );
+            ok = true;
+        }
+        exit_prod();
+        return ok;
+    }
+
+    /** blocking push; returns false when the stream was aborted while
+     *  this end was blocked (mirrors throw_if_aborted_write) */
+    bool push( const int v )
+    {
+        retry_guard g;
+        for( ;; )
+        {
+            if( try_push( v ) )
+            {
+                return true;
+            }
+            if( aborted_.load( std::memory_order_acquire ) )
+            {
+                return false;
+            }
+            g.wait();
+        }
+    }
+
+    void close_write()
+    {
+        write_closed_.store( true, std::memory_order_release );
+    }
+
+    void abort() { aborted_.store( true, std::memory_order_release ); }
+    ///@}
+
+    /** @name consumer end */
+    ///@{
+    pop_status try_pop( int &out )
+    {
+        enter_cons();
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = cons_tail( h );
+        bool got     = false;
+        if( t != h )
+        {
+            const auto m = mask_.load( std::memory_order_relaxed );
+            out          = data_[ h & m ].load( std::memory_order_relaxed );
+            head_.store( h + 1U, std::memory_order_release );
+            got = true;
+        }
+        exit_cons();
+        if( got )
+        {
+            return pop_status::got;
+        }
+        if( !o_.broken_abort_order )
+        {
+            /** the real ordering: abort beats EOS on the blocked path */
+            if( aborted_.load( std::memory_order_acquire ) )
+            {
+                return pop_status::aborted;
+            }
+            if( drained() )
+            {
+                return pop_status::eos;
+            }
+        }
+        else
+        {
+            /** deliberately wrong: drained check first */
+            if( drained() )
+            {
+                return pop_status::eos;
+            }
+            if( aborted_.load( std::memory_order_acquire ) )
+            {
+                return pop_status::aborted;
+            }
+        }
+        return pop_status::empty;
+    }
+
+    /** blocking pop; never returns `empty` */
+    pop_status pop( int &out )
+    {
+        retry_guard g;
+        for( ;; )
+        {
+            const auto s = try_pop( out );
+            if( s != pop_status::empty )
+            {
+                return s;
+            }
+            g.wait();
+        }
+    }
+    ///@}
+
+    /** @name monitor end — cooperative resize */
+    ///@{
+    bool try_resize( const unsigned new_cap )
+    {
+        gate_.store( true, std::memory_order_seq_cst );
+        {
+            retry_guard g;
+            while( prod_op_.load( std::memory_order_seq_cst ) ||
+                   cons_op_.load( std::memory_order_seq_cst ) )
+            {
+                g.wait();
+            }
+        }
+        /** both ends parked — exclusive access from here (that claim is
+         *  the property under test) */
+        const auto h = head_.load( std::memory_order_relaxed );
+        const auto t = tail_.load( std::memory_order_relaxed );
+        const auto n = t - h;
+        if( new_cap < n || new_cap > max_cap )
+        {
+            gate_.store( false, std::memory_order_release );
+            return false;
+        }
+        const auto old_m = mask_.load( std::memory_order_relaxed );
+        int tmp[ max_cap ]{};
+        for( unsigned i = 0U; i < n; ++i )
+        {
+            tmp[ i ] = data_[ ( h + i ) & old_m ].load(
+                std::memory_order_relaxed );
+        }
+        /** relocate unwrapped into index 0 — the paper's efficient
+         *  non-wrapped resize position */
+        for( unsigned i = 0U; i < n; ++i )
+        {
+            data_[ i ].store( tmp[ i ], std::memory_order_relaxed );
+        }
+        head_.store( 0U, std::memory_order_relaxed );
+        tail_.store( n, std::memory_order_relaxed );
+        /** re-seed the shadow caches while the ends are parked */
+        cached_head_ = 0U;
+        cached_tail_ = n;
+        capacity_.store( new_cap, std::memory_order_relaxed );
+        mask_.store( new_cap - 1U, std::memory_order_relaxed );
+        gate_.store( false, std::memory_order_release );
+        return true;
+    }
+    ///@}
+
+    /** @name final-state inspection (verify closures only) */
+    ///@{
+    unsigned raw_size() const
+    {
+        return tail_.raw_get() - head_.raw_get();
+    }
+    /** i-th element counted from the head (final-state FIFO order) */
+    int raw_at( const unsigned i ) const
+    {
+        return data_[ ( head_.raw_get() + i ) & mask_.raw_get() ]
+            .raw_get();
+    }
+    bool raw_aborted() const { return aborted_.raw_get(); }
+    ///@}
+
+private:
+    bool drained()
+    {
+        if( !write_closed_.load( std::memory_order_acquire ) )
+        {
+            return false;
+        }
+        const auto t = tail_.load( std::memory_order_acquire );
+        const auto h = head_.load( std::memory_order_relaxed );
+        return t == h;
+    }
+
+    /** producer's shadow of head_, refreshed only when the cache says
+     *  full (mirrors ring_buffer::prod_head) */
+    unsigned prod_head( const unsigned t, const unsigned cap )
+    {
+        auto h = cached_head_;
+        if( t - h >= cap )
+        {
+            h            = head_.load( std::memory_order_acquire );
+            cached_head_ = h;
+        }
+        return h;
+    }
+
+    /** consumer's shadow of tail_, refreshed only when the cache says
+     *  empty (mirrors ring_buffer::cons_tail) */
+    unsigned cons_tail( const unsigned h )
+    {
+        auto t = cached_tail_;
+        if( t == h )
+        {
+            t            = tail_.load( std::memory_order_acquire );
+            cached_tail_ = t;
+        }
+        return t;
+    }
+
+    /** @name Dekker handshake (mirrors enter_prod/exit_prod) */
+    ///@{
+    void enter_prod()
+    {
+        const auto so = o_.broken_dekker ? std::memory_order_release
+                                         : std::memory_order_seq_cst;
+        const auto lo = o_.broken_dekker ? std::memory_order_acquire
+                                         : std::memory_order_seq_cst;
+        retry_guard g;
+        for( ;; )
+        {
+            prod_op_.store( true, so );
+            if( !gate_.load( lo ) )
+            {
+                return;
+            }
+            prod_op_.store( false, std::memory_order_release );
+            g.wait();
+        }
+    }
+
+    void exit_prod()
+    {
+        prod_op_.store( false, std::memory_order_release );
+    }
+
+    void enter_cons()
+    {
+        const auto so = o_.broken_dekker ? std::memory_order_release
+                                         : std::memory_order_seq_cst;
+        const auto lo = o_.broken_dekker ? std::memory_order_acquire
+                                         : std::memory_order_seq_cst;
+        retry_guard g;
+        for( ;; )
+        {
+            cons_op_.store( true, so );
+            if( !gate_.load( lo ) )
+            {
+                return;
+            }
+            cons_op_.store( false, std::memory_order_release );
+            g.wait();
+        }
+    }
+
+    void exit_cons()
+    {
+        cons_op_.store( false, std::memory_order_release );
+    }
+    ///@}
+
+    const ring_opts o_;
+
+    mc::atomic<unsigned> head_;
+    mc::atomic<unsigned> tail_;
+    mc::atomic<unsigned> capacity_;
+    mc::atomic<unsigned> mask_;
+    std::array<mc::atomic<int>, max_cap> data_;
+    mc::atomic<bool> gate_;
+    mc::atomic<bool> prod_op_;
+    mc::atomic<bool> cons_op_;
+    mc::atomic<bool> write_closed_;
+    mc::atomic<bool> aborted_;
+
+    /** thread-private shadow indices — plain on purpose: their safety is
+     *  exactly what the gate protocol must provide */
+    unsigned cached_head_{ 0U };
+    unsigned cached_tail_{ 0U };
+};
+
+} /** end namespace mc **/
+} /** end namespace raft **/

@@ -141,6 +141,85 @@ public:
         return visited == kernels_.size();
     }
 
+    /** @name introspection accessors (raft::analyze, tooling)
+     * Index-based views of the graph structure; indices are positions in
+     * kernels(). Rebuilt per call — analysis-time use only, not hot-path.
+     */
+    ///@{
+    /** Directed adjacency: adjacency()[i] lists the kernel indices that
+     *  kernels()[i] feeds (one entry per edge, so multi-edges repeat). */
+    std::vector<std::vector<std::size_t>> adjacency() const
+    {
+        std::vector<std::vector<std::size_t>> adj( kernels_.size() );
+        for( const auto &e : edges_ )
+        {
+            adj[ index_of( e.src ) ].push_back( index_of( e.dst ) );
+        }
+        return adj;
+    }
+
+    /** Weakly-connected components, each a list of kernel indices in
+     *  discovery order. connected() == (components().size() == 1). */
+    std::vector<std::vector<std::size_t>> weak_components() const
+    {
+        std::vector<std::vector<std::size_t>> comps;
+        std::vector<bool> seen( kernels_.size(), false );
+        for( std::size_t start = 0; start < kernels_.size(); ++start )
+        {
+            if( seen[ start ] )
+            {
+                continue;
+            }
+            comps.emplace_back();
+            std::vector<std::size_t> stack{ start };
+            seen[ start ] = true;
+            while( !stack.empty() )
+            {
+                const auto i = stack.back();
+                stack.pop_back();
+                comps.back().push_back( i );
+                const kernel *k = kernels_[ i ];
+                for( const auto &e : edges_ )
+                {
+                    const kernel *peer =
+                        e.src == k ? e.dst : ( e.dst == k ? e.src : nullptr );
+                    if( peer == nullptr )
+                    {
+                        continue;
+                    }
+                    const auto j = index_of( peer );
+                    if( !seen[ j ] )
+                    {
+                        seen[ j ] = true;
+                        stack.push_back( j );
+                    }
+                }
+            }
+        }
+        return comps;
+    }
+
+    std::size_t in_degree( const kernel *k ) const
+    {
+        std::size_t n = 0;
+        for( const auto &e : edges_ )
+        {
+            n += ( e.dst == k ) ? 1 : 0;
+        }
+        return n;
+    }
+
+    std::size_t out_degree( const kernel *k ) const
+    {
+        std::size_t n = 0;
+        for( const auto &e : edges_ )
+        {
+            n += ( e.src == k ) ? 1 : 0;
+        }
+        return n;
+    }
+    ///@}
+
     std::size_t index_of( const kernel *k ) const
     {
         for( std::size_t i = 0; i < kernels_.size(); ++i )

@@ -91,6 +91,25 @@ public:
      */
     virtual bool ready() const;
 
+    /** @name static-analysis hints (src/analysis/, raft::analyze)
+     * Whole-graph properties the linter cannot derive from the code are
+     * declared here. Defaults are the permissive common case; override to
+     * opt in to the stricter checks.
+     */
+    ///@{
+    /** Replication behind split/reduce adapters delivers elements to the
+     *  replicas out of order. A kernel whose output depends on input
+     *  arrival order (running aggregates, deduplication, sequence
+     *  numbering) should return true so raft::analyze can flag it when a
+     *  raft::out link would place it inside a replica lane. */
+    virtual bool order_sensitive() const { return false; }
+    /** True when the kernel is safe to restart in place: it either holds
+     *  no cross-invocation state or overrides on_restart() to reset it.
+     *  raft::analyze warns when a restart policy is attached to a kernel
+     *  that does not declare this. */
+    virtual bool restart_safe() const { return false; }
+    ///@}
+
     /** @name ports */
     ///@{
     port_container input{ port_dir::in };

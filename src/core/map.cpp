@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/analysis.hpp"
 #include "core/exceptions.hpp"
 #include "core/fifo.hpp"
 #include "core/monitor.hpp"
@@ -118,6 +119,47 @@ void map::exe( const run_options &opts )
     {
         throw graph_exception(
             "application graph is not fully connected" );
+    }
+
+    /** 1b. static analysis (src/analysis/): lint the graph the user
+     *  assembled, before any rewrite, and refuse to run on error-severity
+     *  diagnostics. Non-convertible link types are excluded from the
+     *  fail-fast set — the type-checking pass below throws its own
+     *  link_type_exception with per-link detail. **/
+    if( opts.analysis.enabled )
+    {
+        const auto rep = analysis::analyze( topo_, opts );
+        if( opts.analysis.report_out != nullptr )
+        {
+            *opts.analysis.report_out = rep;
+        }
+        if( opts.analysis.fail_on_error )
+        {
+            std::string fatal;
+            std::size_t fatal_count = 0;
+            for( const auto &d : rep.diagnostics )
+            {
+                const bool counts =
+                    ( d.sev == analysis::severity::error &&
+                      d.id != "incompatible-link-types" ) ||
+                    ( opts.analysis.warnings_as_errors &&
+                      d.sev == analysis::severity::warning );
+                if( counts )
+                {
+                    fatal += "\n  " + d.to_string();
+                    ++fatal_count;
+                }
+            }
+            if( fatal_count > 0 )
+            {
+                throw analysis_error(
+                    "graph analysis failed (" +
+                    std::to_string( fatal_count ) + " error" +
+                    ( fatal_count == 1 ? "" : "s" ) + ")" + fatal +
+                    "\n(inspect with raft::analyze; opt out via "
+                    "run_options::analysis)" );
+            }
+        }
     }
 
     const auto machine =

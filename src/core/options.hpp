@@ -132,6 +132,31 @@ struct supervision_options
     runtime::supervision_report *report_out{ nullptr };
 };
 
+namespace analysis {
+struct report; /** src/analysis/analysis.hpp **/
+} /** end namespace analysis **/
+
+/**
+ * Static analysis (src/analysis/): map::exe() runs the raft::analyze graph
+ * linter over the assembled topology before any rewrite or allocation and,
+ * by default, refuses to execute a graph with error-severity diagnostics
+ * (throwing analysis_error, which aggregates them all). Warnings and notes
+ * never block execution. Disable `enabled` to skip the pass entirely, or
+ * `fail_on_error` to run it purely for the report.
+ */
+struct analysis_options
+{
+    /** Run the linter inside exe(). */
+    bool enabled{ true };
+    /** Throw analysis_error when the report contains errors. */
+    bool fail_on_error{ true };
+    /** Escalate warning diagnostics to fail the run too. */
+    bool warnings_as_errors{ false };
+    /** Filled with the full report (errors, warnings and notes) when
+     *  non-null — also on the throwing path, before the throw. */
+    analysis::report *report_out{ nullptr };
+};
+
 struct run_options
 {
     /** @name stream allocation */
@@ -192,6 +217,11 @@ struct run_options
      *  Prometheus / Chrome-trace exporters) */
     ///@{
     telemetry_options telemetry{};
+    ///@}
+
+    /** @name static analysis (src/analysis/: exe()-time graph linter) */
+    ///@{
+    analysis_options analysis{};
     ///@}
 };
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <typeindex>
@@ -45,6 +46,16 @@ struct type_meta
     std::type_index index{ typeid( void ) };
     std::size_t size{ 0 };
     bool arithmetic{ false };
+    /** @name value-range metadata (arithmetic types only; raft::analyze
+     *  uses these to flag lossy implicit conversions at links) */
+    ///@{
+    bool floating{ false };
+    bool is_signed{ false };
+    /** std::numeric_limits<T>::digits: radix-2 value bits for integers,
+     *  mantissa bits for floating point — directly comparable across the
+     *  int/float boundary. */
+    int digits{ 0 };
+    ///@}
     std::unique_ptr<fifo_base> ( *make_fifo )( std::size_t ){ nullptr };
     std::string name;
 
@@ -54,6 +65,12 @@ struct type_meta
         m.index      = std::type_index( typeid( T ) );
         m.size       = sizeof( T );
         m.arithmetic = std::is_arithmetic_v<T>;
+        if constexpr( std::is_arithmetic_v<T> )
+        {
+            m.floating  = std::is_floating_point_v<T>;
+            m.is_signed = std::is_signed_v<T>;
+            m.digits    = std::numeric_limits<T>::digits;
+        }
         m.make_fifo  = +[]( const std::size_t cap )
             -> std::unique_ptr<fifo_base>
         {

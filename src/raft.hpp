@@ -42,6 +42,8 @@
 #include "core/kernels/synonym.hpp"
 #include "core/kernels/write_each.hpp"
 
+#include "analysis/analysis.hpp"
+
 #include "runtime/elastic/elastic.hpp"
 #include "runtime/elastic/estimator.hpp"
 #include "runtime/elastic/policy.hpp"

@@ -96,7 +96,8 @@ void controller::add_group( const replica_group &g )
                     replica_policy( policy_config{} ),
                     strategy_policy( policy_config{} ),
                     /*strict*/ false,
-                    {} };
+                    /*rep*/ {},
+                    /*input_hist*/ {} };
 
     split_kernel *first = g.splits.front();
     gs.max_active       = first->width();
